@@ -1,0 +1,22 @@
+# Convenience targets for the SafeTSA reproduction.
+
+PYTHON ?= python3
+
+.PHONY: test bench tables examples all clean
+
+test:
+	$(PYTHON) -m pytest tests/ -q
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only -q
+
+tables:
+	$(PYTHON) -m repro.bench.runner all
+
+examples:
+	for ex in examples/*.py; do echo "== $$ex"; $(PYTHON) $$ex; done
+
+all: test bench tables
+
+clean:
+	find . -name __pycache__ -type d -exec rm -rf {} +; rm -rf .pytest_cache .hypothesis

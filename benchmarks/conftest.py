@@ -1,0 +1,29 @@
+"""Shared fixtures for the benchmark harness.
+
+Each ``test_*`` module regenerates one of the paper's tables/figures
+(see DESIGN.md's experiment index).  The pytest-benchmark timings measure
+the toolchain stages themselves; the table *contents* are printed and
+asserted against the paper's qualitative shape.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.corpus import CORPUS_PROGRAMS, corpus_source
+from repro.bench.metrics import measure_corpus
+
+
+@pytest.fixture(scope="session")
+def corpus_rows():
+    """Per-class metrics for the whole corpus (computed once)."""
+    return measure_corpus()
+
+
+@pytest.fixture(scope="session")
+def corpus_sources():
+    return {name: corpus_source(name) for name in CORPUS_PROGRAMS}
+
+
+def totals(rows, *keys):
+    return {key: sum(getattr(row, key) for row in rows) for key in keys}

@@ -1,0 +1,157 @@
+"""Why hand-crafted malicious SafeTSA cannot exist (paper Sections 2-4).
+
+Three demonstrations:
+
+1. the Figure 1 referential-integrity attack -- referencing a value from
+   the untaken side of a phi-join -- has no ``(l, r)`` encoding;
+2. a type-confusion attack -- using an integer where a reference is
+   required -- is rejected by plane selection (type separation);
+3. skipping a null check -- passing an unchecked reference to
+   ``getfield`` -- is rejected because the operand is not on the
+   safe-ref plane.
+
+Run with:  python examples/safety_demo.py
+"""
+
+from repro.ssa.cst import RBasic, RIf, RSeq, derive_cfg
+from repro.ssa.ir import (
+    Block,
+    Const,
+    Function,
+    GetField,
+    Module,
+    NullCheck,
+    Plane,
+    Prim,
+    Term,
+)
+from repro.tsa.layout import FunctionLayout, LayoutError
+from repro.tsa.verifier import VerifyError, verify_function
+from repro.typesys.ops import lookup_op
+from repro.typesys.table import TypeTable
+from repro.typesys.types import BOOLEAN, INT, ClassType
+from repro.typesys.world import ClassInfo, FieldInfo, MethodInfo, World
+
+
+def build_world():
+    world = World()
+    point = ClassInfo("Point", "java.lang.Object")
+    point.add_field(FieldInfo("x", INT))
+    world.define_class(point)
+    world.link()
+    table = TypeTable(world)
+    table.declare_class(point)
+    module = Module(world, table)
+    module.classes.append(point)
+    return world, table, module, point
+
+
+def demo_figure1_attack() -> None:
+    print("1. Figure 1: reference a value from the wrong phi path")
+    world, table, module, point = build_world()
+    method = MethodInfo("attack", [], INT, is_static=True)
+    point.add_method(method)
+    function = Function(method, point)
+    entry = function.new_block()
+    function.entry = entry
+    cond = Const(BOOLEAN, True)
+    entry.append(cond)
+    entry.term = Term("branch", cond)
+    then_block = function.new_block()
+    secret = Const(INT, 10)   # defined only on the then-path
+    then_block.append(secret)
+    then_block.term = Term("fall")
+    else_block = function.new_block()
+    other = Const(INT, 11)
+    else_block.append(other)
+    else_block.term = Term("fall")
+    join = function.new_block()
+    join.term = Term("return", secret)  # the attack
+    function.cst = RSeq([RIf(entry, RBasic(then_block), RBasic(else_block)),
+                         RBasic(join)])
+    derive_cfg(function)
+    layout = FunctionLayout(function)
+    try:
+        layout.ref_of(join, secret)
+        print("   !! attack succeeded (this must never print)")
+    except LayoutError as error:
+        print(f"   unrepresentable: {error}")
+    try:
+        verify_function(module, function)
+        print("   !! verifier accepted the attack")
+    except VerifyError as error:
+        print(f"   verifier: {error}")
+
+
+def demo_type_confusion() -> None:
+    print("\n2. type separation: an int cannot impersonate a boolean")
+    world, table, module, point = build_world()
+    method = MethodInfo("confuse", [], BOOLEAN, is_static=True)
+    point.add_method(method)
+    function = Function(method, point)
+    entry = function.new_block()
+    function.entry = entry
+    number = Const(INT, 1)
+    entry.append(number)
+    # boolean.not applied to an int-plane value
+    attack = Prim(lookup_op(BOOLEAN, "not"), [number])
+    entry.append(attack)
+    entry.term = Term("return", attack)
+    function.cst = RSeq([RBasic(entry)])
+    derive_cfg(function)
+    try:
+        verify_function(module, function)
+        print("   !! verifier accepted type confusion")
+    except VerifyError as error:
+        print(f"   verifier: {error}")
+
+
+def demo_skipped_null_check() -> None:
+    print("\n3. memory safety: getfield demands a safe-ref operand")
+    world, table, module, point = build_world()
+    field = point.fields[0]
+    method = MethodInfo("skip", [ClassType("Point")], INT, is_static=True)
+    point.add_method(method)
+    function = Function(method, point)
+    entry = function.new_block()
+    function.entry = entry
+    from repro.ssa.ir import Param
+    ref = Param(0, ClassType("Point"), "p")   # unchecked reference
+    entry.append(ref)
+    function.params.append(ref)
+    attack = GetField(point, ref, field)      # no nullcheck first
+    entry.append(attack)
+    entry.term = Term("return", attack)
+    function.cst = RSeq([RBasic(entry)])
+    derive_cfg(function)
+    try:
+        verify_function(module, function)
+        print("   !! verifier accepted the unchecked access")
+    except VerifyError as error:
+        print(f"   verifier: {error}")
+    # the honest version passes:
+    function2 = Function(method, point)
+    entry2 = function2.new_block()
+    function2.entry = entry2
+    ref2 = Param(0, ClassType("Point"), "p")
+    entry2.append(ref2)
+    function2.params.append(ref2)
+    checked = NullCheck(ClassType("Point"), ref2)
+    entry2.append(checked)
+    honest = GetField(point, checked, field)
+    entry2.append(honest)
+    entry2.term = Term("return", honest)
+    function2.cst = RSeq([RBasic(entry2)])
+    derive_cfg(function2)
+    verify_function(module, function2)
+    print("   (with the nullcheck in place, verification passes)")
+
+
+def main() -> None:
+    demo_figure1_attack()
+    demo_type_confusion()
+    demo_skipped_null_check()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,140 @@
+// Stand-in for sun.math.BigDecimal: fixed-point arithmetic over scaled
+// longs with explicit rounding -- long arithmetic, exceptions, and
+// string formatting.
+class DecimalError extends RuntimeException {
+    DecimalError(String message) { super(message); }
+}
+
+class BigDecimalLite {
+    long unscaled;
+    int scale;   // digits after the point, 0..9
+
+    BigDecimalLite(long unscaled, int scale) {
+        if (scale < 0 || scale > 9) {
+            throw new DecimalError("scale out of range: " + scale);
+        }
+        this.unscaled = unscaled;
+        this.scale = scale;
+    }
+
+    static long pow10(int n) {
+        long result = 1;
+        for (int i = 0; i < n; i++) {
+            result = result * 10;
+        }
+        return result;
+    }
+
+    BigDecimalLite rescale(int newScale) {
+        if (newScale == scale) return this;
+        if (newScale > scale) {
+            return new BigDecimalLite(
+                unscaled * pow10(newScale - scale), newScale);
+        }
+        long factor = pow10(scale - newScale);
+        long quotient = unscaled / factor;
+        long remainder = unscaled % factor;
+        // round half up, away from zero
+        long half = factor / 2;
+        if (remainder >= half) quotient = quotient + 1;
+        if (-remainder >= half) quotient = quotient - 1;
+        return new BigDecimalLite(quotient, newScale);
+    }
+
+    BigDecimalLite add(BigDecimalLite other) {
+        int common = scale > other.scale ? scale : other.scale;
+        BigDecimalLite a = rescale(common);
+        BigDecimalLite b = other.rescale(common);
+        return new BigDecimalLite(a.unscaled + b.unscaled, common);
+    }
+
+    BigDecimalLite subtract(BigDecimalLite other) {
+        return add(new BigDecimalLite(-other.unscaled, other.scale));
+    }
+
+    BigDecimalLite multiply(BigDecimalLite other) {
+        int combined = scale + other.scale;
+        BigDecimalLite exact =
+            new BigDecimalLite(unscaled * other.unscaled,
+                               combined > 9 ? 9 : combined);
+        if (combined > 9) {
+            long factor = pow10(combined - 9);
+            exact = new BigDecimalLite(
+                unscaled * other.unscaled / factor, 9);
+        }
+        return exact;
+    }
+
+    BigDecimalLite divide(BigDecimalLite other, int resultScale) {
+        if (other.unscaled == 0) {
+            throw new DecimalError("division by zero");
+        }
+        long numerator = unscaled * pow10(resultScale + other.scale - scale);
+        long quotient = numerator / other.unscaled;
+        long remainder = numerator % other.unscaled;
+        if (2 * Math.abs(remainder) >= Math.abs(other.unscaled)) {
+            if ((numerator < 0) == (other.unscaled < 0)) {
+                quotient = quotient + 1;
+            } else {
+                quotient = quotient - 1;
+            }
+        }
+        return new BigDecimalLite(quotient, resultScale);
+    }
+
+    int compareTo(BigDecimalLite other) {
+        int common = scale > other.scale ? scale : other.scale;
+        long a = rescale(common).unscaled;
+        long b = other.rescale(common).unscaled;
+        if (a < b) return -1;
+        if (a > b) return 1;
+        return 0;
+    }
+
+    String format() {
+        long magnitude = unscaled < 0 ? -unscaled : unscaled;
+        String sign = unscaled < 0 ? "-" : "";
+        if (scale == 0) return sign + magnitude;
+        long factor = pow10(scale);
+        long whole = magnitude / factor;
+        long fraction = magnitude % factor;
+        String digits = "" + (fraction + factor);
+        return sign + whole + "." + digits.substring(1);
+    }
+
+    static void main() {
+        BigDecimalLite price = new BigDecimalLite(1999, 2);      // 19.99
+        BigDecimalLite rate = new BigDecimalLite(825, 4);        // 0.0825
+        BigDecimalLite tax = price.multiply(rate).rescale(2);
+        BigDecimalLite total = price.add(tax);
+        System.out.println("price=" + price.format());
+        System.out.println("tax=" + tax.format());
+        System.out.println("total=" + total.format());
+
+        BigDecimalLite third = new BigDecimalLite(1, 0)
+            .divide(new BigDecimalLite(3, 0), 6);
+        System.out.println("third=" + third.format());
+        System.out.println("cmp=" + third.compareTo(new BigDecimalLite(333334, 6)));
+
+        // compound interest, 12 periods
+        BigDecimalLite balance = new BigDecimalLite(100000, 2);  // 1000.00
+        BigDecimalLite growth = new BigDecimalLite(10050, 4);    // 1.0050
+        for (int month = 0; month < 12; month++) {
+            balance = balance.multiply(growth).rescale(2);
+        }
+        System.out.println("balance=" + balance.format());
+
+        try {
+            price.divide(new BigDecimalLite(0, 0), 2);
+            System.out.println("unreachable");
+        } catch (DecimalError e) {
+            System.out.println("caught: " + e.getMessage());
+        }
+        try {
+            BigDecimalLite bad = new BigDecimalLite(1, 12);
+            System.out.println("unreachable " + bad.format());
+        } catch (DecimalError e) {
+            System.out.println("caught: " + e.getMessage());
+        }
+    }
+}

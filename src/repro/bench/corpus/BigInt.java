@@ -1,0 +1,196 @@
+// Stand-in for sun.math.BigInteger: arbitrary-precision unsigned
+// arithmetic over int[] limbs (base 10000 for printable decimals).
+// Dense array indexing: the paper's null-check and array-check
+// elimination shows up here.
+class BigInt {
+    int[] limbs;   // little-endian, base 10000
+    int length;
+
+    BigInt(int value) {
+        limbs = new int[4];
+        length = 0;
+        while (value > 0) {
+            ensure(length + 1);
+            limbs[length] = value % 10000;
+            value = value / 10000;
+            length = length + 1;
+        }
+    }
+
+    BigInt(int[] limbs, int length) {
+        this.limbs = limbs;
+        this.length = length;
+    }
+
+    void ensure(int capacity) {
+        if (capacity <= limbs.length) return;
+        int newCapacity = limbs.length * 2;
+        if (newCapacity < capacity) newCapacity = capacity;
+        int[] grown = new int[newCapacity];
+        for (int i = 0; i < length; i++) {
+            grown[i] = limbs[i];
+        }
+        limbs = grown;
+    }
+
+    boolean isZero() {
+        return length == 0;
+    }
+
+    static BigInt add(BigInt a, BigInt b) {
+        int n = a.length;
+        if (b.length > n) n = b.length;
+        int[] out = new int[n + 1];
+        int carry = 0;
+        for (int i = 0; i < n; i++) {
+            int sum = carry;
+            if (i < a.length) sum = sum + a.limbs[i];
+            if (i < b.length) sum = sum + b.limbs[i];
+            out[i] = sum % 10000;
+            carry = sum / 10000;
+        }
+        int outLength = n;
+        if (carry > 0) {
+            out[n] = carry;
+            outLength = n + 1;
+        }
+        return new BigInt(out, outLength);
+    }
+
+    // a - b, requires a >= b
+    static BigInt sub(BigInt a, BigInt b) {
+        int[] out = new int[a.length];
+        int borrow = 0;
+        for (int i = 0; i < a.length; i++) {
+            int diff = a.limbs[i] - borrow;
+            if (i < b.length) diff = diff - b.limbs[i];
+            if (diff < 0) {
+                diff = diff + 10000;
+                borrow = 1;
+            } else {
+                borrow = 0;
+            }
+            out[i] = diff;
+        }
+        int outLength = a.length;
+        while (outLength > 0 && out[outLength - 1] == 0) {
+            outLength = outLength - 1;
+        }
+        return new BigInt(out, outLength);
+    }
+
+    static BigInt mul(BigInt a, BigInt b) {
+        if (a.isZero() || b.isZero()) return new BigInt(0);
+        int[] out = new int[a.length + b.length];
+        for (int i = 0; i < a.length; i++) {
+            int carry = 0;
+            int limb = a.limbs[i];
+            for (int j = 0; j < b.length; j++) {
+                int cell = out[i + j] + limb * b.limbs[j] + carry;
+                out[i + j] = cell % 10000;
+                carry = cell / 10000;
+            }
+            int k = i + b.length;
+            while (carry > 0) {
+                int cell = out[k] + carry;
+                out[k] = cell % 10000;
+                carry = cell / 10000;
+                k = k + 1;
+            }
+        }
+        int outLength = out.length;
+        while (outLength > 0 && out[outLength - 1] == 0) {
+            outLength = outLength - 1;
+        }
+        return new BigInt(out, outLength);
+    }
+
+    static int compare(BigInt a, BigInt b) {
+        if (a.length != b.length) {
+            return a.length < b.length ? -1 : 1;
+        }
+        for (int i = a.length - 1; i >= 0; i--) {
+            if (a.limbs[i] != b.limbs[i]) {
+                return a.limbs[i] < b.limbs[i] ? -1 : 1;
+            }
+        }
+        return 0;
+    }
+
+    // divide by a small int in place; returns the remainder
+    int divSmall(int divisor) {
+        int remainder = 0;
+        for (int i = length - 1; i >= 0; i--) {
+            int cell = remainder * 10000 + limbs[i];
+            limbs[i] = cell / divisor;
+            remainder = cell % divisor;
+        }
+        while (length > 0 && limbs[length - 1] == 0) {
+            length = length - 1;
+        }
+        return remainder;
+    }
+
+    BigInt copy() {
+        int[] out = new int[length > 0 ? length : 1];
+        for (int i = 0; i < length; i++) {
+            out[i] = limbs[i];
+        }
+        return new BigInt(out, length);
+    }
+
+    String toDecimalString() {
+        if (isZero()) return "0";
+        String out = "";
+        for (int i = 0; i < length; i++) {
+            int limb = limbs[i];
+            if (i == length - 1) {
+                out = "" + limb + out;
+            } else {
+                String chunk = "" + (limb + 10000);
+                out = chunk.substring(1, 5) + out;
+            }
+        }
+        return out;
+    }
+
+    static BigInt factorial(int n) {
+        BigInt acc = new BigInt(1);
+        for (int i = 2; i <= n; i++) {
+            acc = mul(acc, new BigInt(i));
+        }
+        return acc;
+    }
+
+    static BigInt fib(int n) {
+        BigInt a = new BigInt(0);
+        BigInt b = new BigInt(1);
+        for (int i = 0; i < n; i++) {
+            BigInt next = add(a, b);
+            a = b;
+            b = next;
+        }
+        return a;
+    }
+
+    static void main() {
+        BigInt f20 = factorial(20);
+        System.out.println("20! = " + f20.toDecimalString());
+        BigInt f25 = factorial(25);
+        System.out.println("25! = " + f25.toDecimalString());
+        System.out.println("fib(100) = " + fib(100).toDecimalString());
+
+        BigInt x = factorial(15);
+        BigInt y = mul(x, new BigInt(1000));
+        BigInt z = sub(y, x);
+        System.out.println("cmp = " + compare(z, y) + " " + compare(y, z)
+                           + " " + compare(y, y));
+
+        BigInt w = f20.copy();
+        int digitSum = 0;
+        while (!w.isZero()) {
+            digitSum = digitSum + w.divSmall(10);
+        }
+        System.out.println("digitsum(20!) = " + digitSum);
+    }
+}

@@ -1,0 +1,150 @@
+// Stand-in for sun.tools.java.BinaryCode / BinaryAttribute: decodes a
+// synthetic class-file-like byte stream with try/catch around every
+// parsing stage.  Exception-dispatch joins receive phis for all the
+// variables assigned in the try bodies -- the pattern behind the paper's
+// dead-phi statistics.
+class StreamError extends Exception {
+    StreamError(String message) { super(message); }
+}
+
+class ByteStream {
+    int[] data;
+    int pos;
+
+    ByteStream(int[] data) {
+        this.data = data;
+        this.pos = 0;
+    }
+
+    int u1() throws StreamError {
+        if (pos >= data.length) throw new StreamError("eof at " + pos);
+        int v = data[pos] & 255;
+        pos = pos + 1;
+        return v;
+    }
+
+    int u2() throws StreamError {
+        int hi = u1();
+        int lo = u1();
+        return (hi << 8) | lo;
+    }
+
+    int u4() throws StreamError {
+        int hi = u2();
+        int lo = u2();
+        return (hi << 16) | lo;
+    }
+
+    void skip(int n) throws StreamError {
+        if (pos + n > data.length) throw new StreamError("skip past end");
+        pos = pos + n;
+    }
+}
+
+class BinaryCode {
+    int magic;
+    int majorVersion;
+    int poolCount;
+    int methodCount;
+    int codeBytes;
+    int attrCount;
+    String status;
+
+    boolean load(ByteStream in) {
+        int stage = 0;
+        int sum = 0;
+        try {
+            magic = in.u4();
+            stage = 1;
+            if (magic != 0xCAFEBABE) {
+                throw new StreamError("bad magic");
+            }
+            int minor = in.u2();
+            majorVersion = in.u2();
+            stage = 2;
+            poolCount = in.u2();
+            for (int i = 1; i < poolCount; i++) {
+                int tag = in.u1();
+                sum = sum + tag;
+                switch (tag) {
+                    case 1: in.skip(in.u2()); break;
+                    case 3: in.skip(4); break;
+                    case 7: in.skip(2); break;
+                    case 12: in.skip(4); break;
+                    default: throw new StreamError("bad tag " + tag);
+                }
+            }
+            stage = 3;
+            methodCount = in.u2();
+            codeBytes = 0;
+            for (int m = 0; m < methodCount; m++) {
+                int access = in.u2();
+                int length = in.u2();
+                codeBytes = codeBytes + length;
+                in.skip(length);
+                sum = sum + access;
+            }
+            stage = 4;
+            attrCount = in.u2();
+            status = "ok(sum=" + sum + ")";
+            return true;
+        } catch (StreamError e) {
+            status = "failed at stage " + stage + ": " + e.getMessage();
+            return false;
+        }
+    }
+
+    static int[] wellFormed() {
+        int[] out = new int[64];
+        int p = 0;
+        // magic 0xCAFEBABE
+        out[p++] = 0xCA; out[p++] = 0xFE; out[p++] = 0xBA; out[p++] = 0xBE;
+        out[p++] = 0; out[p++] = 3;      // minor
+        out[p++] = 0; out[p++] = 45;     // major
+        out[p++] = 0; out[p++] = 4;      // pool count (3 entries)
+        out[p++] = 1; out[p++] = 0; out[p++] = 2;  // utf8 len 2
+        out[p++] = 65; out[p++] = 66;
+        out[p++] = 7; out[p++] = 0; out[p++] = 1;  // class
+        out[p++] = 3; out[p++] = 0; out[p++] = 0; out[p++] = 0; out[p++] = 9;
+        out[p++] = 0; out[p++] = 2;      // two methods
+        out[p++] = 0; out[p++] = 1;      // access
+        out[p++] = 0; out[p++] = 3;      // length 3
+        out[p++] = 9; out[p++] = 9; out[p++] = 9;
+        out[p++] = 0; out[p++] = 8;      // access
+        out[p++] = 0; out[p++] = 0;      // length 0
+        out[p++] = 0; out[p++] = 5;      // attributes
+        return out;
+    }
+
+    static void main() {
+        BinaryCode code = new BinaryCode();
+        boolean ok = code.load(new ByteStream(wellFormed()));
+        System.out.println(ok + " " + code.status);
+        System.out.println("pool=" + code.poolCount
+                           + " methods=" + code.methodCount
+                           + " code=" + code.codeBytes
+                           + " attrs=" + code.attrCount);
+
+        // truncated stream: fails mid-pool
+        int[] truncated = new int[12];
+        int[] good = wellFormed();
+        for (int i = 0; i < truncated.length; i++) truncated[i] = good[i];
+        BinaryCode bad = new BinaryCode();
+        System.out.println(bad.load(new ByteStream(truncated))
+                           + " " + bad.status);
+
+        // wrong magic
+        int[] wrong = wellFormed();
+        wrong[0] = 0;
+        BinaryCode worse = new BinaryCode();
+        System.out.println(worse.load(new ByteStream(wrong))
+                           + " " + worse.status);
+
+        // bad constant tag
+        int[] badTag = wellFormed();
+        badTag[10] = 99;
+        BinaryCode tagged = new BinaryCode();
+        System.out.println(tagged.load(new ByteStream(badTag))
+                           + " " + tagged.status);
+    }
+}

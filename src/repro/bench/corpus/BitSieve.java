@@ -1,0 +1,70 @@
+// Stand-in for sun.math.BitSieve: a sieve of Eratosthenes over a packed
+// int[] bit set; shift/mask-heavy integer code.
+class BitSieve {
+    int[] bits;
+    int limit;
+
+    BitSieve(int limit) {
+        this.limit = limit;
+        bits = new int[(limit >> 5) + 1];
+    }
+
+    void set(int index) {
+        bits[index >> 5] = bits[index >> 5] | (1 << (index & 31));
+    }
+
+    boolean get(int index) {
+        return (bits[index >> 5] & (1 << (index & 31))) != 0;
+    }
+
+    void sieve() {
+        set(0);
+        if (limit > 1) set(1);
+        for (int p = 2; p * p <= limit; p++) {
+            if (!get(p)) {
+                for (int multiple = p * p; multiple <= limit;
+                     multiple += p) {
+                    set(multiple);
+                }
+            }
+        }
+    }
+
+    int countPrimes() {
+        int count = 0;
+        for (int i = 2; i <= limit; i++) {
+            if (!get(i)) count++;
+        }
+        return count;
+    }
+
+    int nthPrime(int n) {
+        int seen = 0;
+        for (int i = 2; i <= limit; i++) {
+            if (!get(i)) {
+                seen++;
+                if (seen == n) return i;
+            }
+        }
+        return -1;
+    }
+
+    static void main() {
+        BitSieve sieve = new BitSieve(20000);
+        sieve.sieve();
+        System.out.println("primes=" + sieve.countPrimes());
+        System.out.println("p100=" + sieve.nthPrime(100));
+        System.out.println("p1000=" + sieve.nthPrime(1000));
+        long sum = 0;
+        for (int i = 2; i <= 1000; i++) {
+            if (!sieve.get(i)) sum += i;
+        }
+        System.out.println("sum1000=" + sum);
+        // twin primes below 10000
+        int twins = 0;
+        for (int i = 3; i + 2 <= 10000; i++) {
+            if (!sieve.get(i) && !sieve.get(i + 2)) twins++;
+        }
+        System.out.println("twins=" + twins);
+    }
+}

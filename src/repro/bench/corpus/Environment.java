@@ -1,0 +1,155 @@
+// Stand-in for sun.tools.javac.BatchEnvironment: a compilation
+// environment with an open-addressing symbol table, error reporting and
+// flag handling -- string/virtual-call/field heavy code.
+class Symbol {
+    String name;
+    int kind;        // 0 class, 1 method, 2 field, 3 local
+    int uses;
+    Symbol next;
+
+    Symbol(String name, int kind) {
+        this.name = name;
+        this.kind = kind;
+    }
+
+    String describe() {
+        String kindName;
+        switch (kind) {
+            case 0: kindName = "class"; break;
+            case 1: kindName = "method"; break;
+            case 2: kindName = "field"; break;
+            default: kindName = "local"; break;
+        }
+        return kindName + " " + name + " (" + uses + " uses)";
+    }
+}
+
+class SymbolTable {
+    Symbol[] buckets;
+    int count;
+
+    SymbolTable(int capacity) {
+        buckets = new Symbol[capacity];
+    }
+
+    int hash(String name) {
+        int h = 0;
+        for (int i = 0; i < name.length(); i++) {
+            h = h * 31 + name.charAt(i);
+        }
+        if (h < 0) h = -h;
+        return h % buckets.length;
+    }
+
+    Symbol lookup(String name) {
+        Symbol entry = buckets[hash(name)];
+        while (entry != null) {
+            if (entry.name.equals(name)) return entry;
+            entry = entry.next;
+        }
+        return null;
+    }
+
+    Symbol define(String name, int kind) {
+        Symbol existing = lookup(name);
+        if (existing != null) return existing;
+        Symbol symbol = new Symbol(name, kind);
+        int index = hash(name);
+        symbol.next = buckets[index];
+        buckets[index] = symbol;
+        count = count + 1;
+        return symbol;
+    }
+
+    int maxChain() {
+        int longest = 0;
+        for (int i = 0; i < buckets.length; i++) {
+            int length = 0;
+            Symbol entry = buckets[i];
+            while (entry != null) {
+                length = length + 1;
+                entry = entry.next;
+            }
+            if (length > longest) longest = length;
+        }
+        return longest;
+    }
+}
+
+class Environment {
+    SymbolTable table;
+    String[] errors;
+    int errorCount;
+    int warningCount;
+    boolean verbose;
+
+    Environment() {
+        table = new SymbolTable(17);
+        errors = new String[16];
+    }
+
+    void error(String where, String message) {
+        if (errorCount < errors.length) {
+            errors[errorCount] = where + ": " + message;
+        }
+        errorCount = errorCount + 1;
+    }
+
+    void warn(String message) {
+        warningCount = warningCount + 1;
+        if (verbose) {
+            error("warning", message);
+        }
+    }
+
+    Symbol resolve(String name) {
+        Symbol symbol = table.lookup(name);
+        if (symbol == null) {
+            error(name, "cannot resolve symbol");
+            return table.define(name, 3);
+        }
+        symbol.uses = symbol.uses + 1;
+        return symbol;
+    }
+
+    static void main() {
+        Environment env = new Environment();
+        String[] names = new String[12];
+        names[0] = "Object";
+        names[1] = "String";
+        names[2] = "main";
+        names[3] = "toString";
+        names[4] = "value";
+        names[5] = "length";
+        names[6] = "index";
+        names[7] = "buffer";
+        names[8] = "Parser";
+        names[9] = "Scanner";
+        names[10] = "x";
+        names[11] = "y";
+        for (int i = 0; i < names.length; i++) {
+            env.table.define(names[i], i % 4);
+        }
+        // resolve a workload with some misses
+        for (int round = 0; round < 3; round++) {
+            for (int i = 0; i < names.length; i += 2) {
+                env.resolve(names[i]);
+            }
+            env.resolve("missing" + round);
+            env.warn("round " + round);
+        }
+        env.verbose = true;
+        env.warn("last");
+        System.out.println("symbols=" + env.table.count);
+        System.out.println("errors=" + env.errorCount
+                           + " warnings=" + env.warningCount);
+        System.out.println("chain=" + env.table.maxChain());
+        Symbol object = env.table.lookup("Object");
+        System.out.println(object.describe());
+        Symbol missing = env.table.lookup("missing1");
+        System.out.println(missing.describe());
+        for (int i = 0; i < env.errorCount && i < env.errors.length; i++) {
+            System.out.println("E: " + env.errors[i]);
+        }
+    }
+}

@@ -1,0 +1,173 @@
+// The paper's array-check showcase: a Linpack port (LU factorisation with
+// partial pivoting and back-substitution over double[][]).  daxpy/ddot
+// access the same array elements repeatedly, which is where SafeTSA's
+// bounds-check CSE pays off.
+class Linpack {
+    static int seed;
+
+    static double random() {
+        seed = (seed * 1103515245 + 12345) & 2147483647;
+        return ((double) seed) / 2147483647.0 - 0.5;
+    }
+
+    static double matgen(double[][] a, int lda, int n, double[] b) {
+        seed = 1325;
+        double norma = 0.0;
+        for (int j = 0; j < n; j++) {
+            for (int i = 0; i < n; i++) {
+                a[j][i] = random();
+                if (a[j][i] > norma) norma = a[j][i];
+            }
+        }
+        for (int i = 0; i < n; i++) {
+            b[i] = 0.0;
+        }
+        for (int j = 0; j < n; j++) {
+            for (int i = 0; i < n; i++) {
+                b[i] = b[i] + a[j][i];
+            }
+        }
+        return norma;
+    }
+
+    static int idamax(int n, double[] dx, int dxOff, int incx) {
+        int itemp = 0;
+        if (n < 1) return -1;
+        if (n == 1) return 0;
+        double dmax = Math.abs(dx[dxOff]);
+        for (int i = 1; i < n; i++) {
+            double candidate = Math.abs(dx[dxOff + i * incx]);
+            if (candidate > dmax) {
+                itemp = i;
+                dmax = candidate;
+            }
+        }
+        return itemp;
+    }
+
+    static void dscal(int n, double da, double[] dx, int dxOff, int incx) {
+        for (int i = 0; i < n * incx; i += incx) {
+            dx[dxOff + i] = da * dx[dxOff + i];
+        }
+    }
+
+    static void daxpy(int n, double da, double[] dx, int dxOff,
+                      double[] dy, int dyOff) {
+        if (n <= 0 || da == 0.0) return;
+        for (int i = 0; i < n; i++) {
+            dy[dyOff + i] = dy[dyOff + i] + da * dx[dxOff + i];
+        }
+    }
+
+    static double ddot(int n, double[] dx, int dxOff,
+                       double[] dy, int dyOff) {
+        double total = 0.0;
+        for (int i = 0; i < n; i++) {
+            total = total + dx[dxOff + i] * dy[dyOff + i];
+        }
+        return total;
+    }
+
+    // LU factorisation with partial pivoting (column-oriented)
+    static int dgefa(double[][] a, int lda, int n, int[] ipvt) {
+        int info = 0;
+        int nm1 = n - 1;
+        for (int k = 0; k < nm1; k++) {
+            double[] colK = a[k];
+            int kp1 = k + 1;
+            int l = idamax(n - k, colK, k, 1) + k;
+            ipvt[k] = l;
+            if (colK[l] == 0.0) {
+                info = k;
+                continue;
+            }
+            if (l != k) {
+                double t = colK[l];
+                colK[l] = colK[k];
+                colK[k] = t;
+            }
+            double t = -1.0 / colK[k];
+            dscal(n - kp1, t, colK, kp1, 1);
+            for (int j = kp1; j < n; j++) {
+                double[] colJ = a[j];
+                double pivot = colJ[l];
+                if (l != k) {
+                    colJ[l] = colJ[k];
+                    colJ[k] = pivot;
+                }
+                daxpy(n - kp1, pivot, colK, kp1, colJ, kp1);
+            }
+        }
+        ipvt[n - 1] = n - 1;
+        if (a[n - 1][n - 1] == 0.0) info = n - 1;
+        return info;
+    }
+
+    static void dgesl(double[][] a, int lda, int n, int[] ipvt, double[] b) {
+        int nm1 = n - 1;
+        for (int k = 0; k < nm1; k++) {
+            int l = ipvt[k];
+            double t = b[l];
+            if (l != k) {
+                b[l] = b[k];
+                b[k] = t;
+            }
+            daxpy(n - k - 1, t, a[k], k + 1, b, k + 1);
+        }
+        for (int kb = 0; kb < n; kb++) {
+            int k = n - kb - 1;
+            b[k] = b[k] / a[k][k];
+            double t = -b[k];
+            daxpy(k, t, a[k], 0, b, 0);
+        }
+    }
+
+    static double epslon(double x) {
+        double eps = 1.0;
+        while (1.0 + eps / 2.0 != 1.0) {
+            eps = eps / 2.0;
+        }
+        return eps * Math.abs(x);
+    }
+
+    static void main() {
+        int n = 24;
+        int lda = n;
+        double[][] a = new double[n][n];
+        double[] b = new double[n];
+        double[] x = new double[n];
+        int[] ipvt = new int[n];
+
+        double norma = matgen(a, lda, n, b);
+        int info = dgefa(a, lda, n, ipvt);
+        dgesl(a, lda, n, ipvt, b);
+        for (int i = 0; i < n; i++) {
+            x[i] = b[i];
+        }
+
+        // residual check: solution should be all ones
+        norma = matgen(a, lda, n, b);
+        for (int i = 0; i < n; i++) {
+            b[i] = -b[i];
+        }
+        // b = A*x + b
+        for (int j = 0; j < n; j++) {
+            daxpy(n, x[j], a[j], 0, b, 0);
+        }
+        double resid = 0.0;
+        double normx = 0.0;
+        for (int i = 0; i < n; i++) {
+            if (Math.abs(b[i]) > resid) resid = Math.abs(b[i]);
+            if (Math.abs(x[i]) > normx) normx = Math.abs(x[i]);
+        }
+        double eps = epslon(1.0);
+        double residn = resid / (n * norma * normx * eps);
+        System.out.println("info=" + info);
+        System.out.println("solved=" + (residn < 100.0));
+        long checksum = 0;
+        for (int i = 0; i < n; i++) {
+            checksum = checksum + (long) (x[i] * 1000.0 + 0.5);
+        }
+        System.out.println("checksum=" + checksum);
+    }
+}

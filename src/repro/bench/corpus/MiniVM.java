@@ -1,0 +1,177 @@
+// Stand-in for the paper's "classes from the Java interpreter, java":
+// a little stack-based virtual machine with a switch-dispatched inner
+// loop -- the instruction-dispatch pattern dominating interpreter code.
+class VMError extends RuntimeException {
+    VMError(String message) { super(message); }
+}
+
+class MiniVM {
+    // opcodes
+    static final int PUSH = 0;    // operand: immediate
+    static final int ADD = 1;
+    static final int SUB = 2;
+    static final int MUL = 3;
+    static final int DIV = 4;
+    static final int DUP = 5;
+    static final int SWAP = 6;
+    static final int JMP = 7;     // operand: target
+    static final int JZ = 8;      // operand: target
+    static final int LOAD = 9;    // operand: register
+    static final int STORE = 10;  // operand: register
+    static final int PRINT = 11;
+    static final int HALT = 12;
+
+    int[] code;
+    int[] stack;
+    int[] registers;
+    int sp;
+    int pc;
+    int steps;
+    String trace;
+
+    MiniVM(int[] code) {
+        this.code = code;
+        stack = new int[64];
+        registers = new int[8];
+        trace = "";
+    }
+
+    void push(int value) {
+        if (sp >= stack.length) throw new VMError("stack overflow");
+        stack[sp] = value;
+        sp = sp + 1;
+    }
+
+    int pop() {
+        if (sp <= 0) throw new VMError("stack underflow");
+        sp = sp - 1;
+        return stack[sp];
+    }
+
+    int fetch() {
+        if (pc >= code.length) throw new VMError("pc out of range");
+        int value = code[pc];
+        pc = pc + 1;
+        return value;
+    }
+
+    int run(int maxSteps) {
+        pc = 0;
+        sp = 0;
+        steps = 0;
+        while (true) {
+            steps = steps + 1;
+            if (steps > maxSteps) throw new VMError("step limit");
+            int op = fetch();
+            switch (op) {
+                case PUSH: push(fetch()); break;
+                case ADD: { int r = pop(); push(pop() + r); break; }
+                case SUB: { int r = pop(); push(pop() - r); break; }
+                case MUL: { int r = pop(); push(pop() * r); break; }
+                case DIV: {
+                    int r = pop();
+                    if (r == 0) throw new VMError("vm division by zero");
+                    push(pop() / r);
+                    break;
+                }
+                case DUP: { int v = pop(); push(v); push(v); break; }
+                case SWAP: {
+                    int a = pop();
+                    int b = pop();
+                    push(a);
+                    push(b);
+                    break;
+                }
+                case JMP: pc = fetch(); break;
+                case JZ: { int t = fetch(); if (pop() == 0) pc = t; break; }
+                case LOAD: push(registers[fetch()]); break;
+                case STORE: registers[fetch()] = pop(); break;
+                case PRINT: trace = trace + pop() + ";"; break;
+                case HALT: return pop();
+                default: throw new VMError("bad opcode " + op);
+            }
+        }
+    }
+
+    // a VM program: factorial(n) with a register loop
+    static int[] factorialProgram() {
+        int[] p = new int[64];
+        int i = 0;
+        // r0 = n (already set), r1 = 1 (accumulator)
+        p[i++] = PUSH; p[i++] = 1;
+        p[i++] = STORE; p[i++] = 1;
+        // loop: if r0 == 0 goto end
+        int loop = i;
+        p[i++] = LOAD; p[i++] = 0;
+        p[i++] = JZ; int patchEnd = i; p[i++] = 0;
+        // r1 = r1 * r0
+        p[i++] = LOAD; p[i++] = 1;
+        p[i++] = LOAD; p[i++] = 0;
+        p[i++] = MUL;
+        p[i++] = STORE; p[i++] = 1;
+        // r0 = r0 - 1
+        p[i++] = LOAD; p[i++] = 0;
+        p[i++] = PUSH; p[i++] = 1;
+        p[i++] = SUB;
+        p[i++] = STORE; p[i++] = 0;
+        p[i++] = JMP; p[i++] = loop;
+        // end: push r1; halt
+        p[patchEnd] = i;
+        p[i++] = LOAD; p[i++] = 1;
+        p[i++] = PRINT;
+        p[i++] = LOAD; p[i++] = 1;
+        p[i++] = HALT;
+        return p;
+    }
+
+    static void main() {
+        MiniVM vm = new MiniVM(factorialProgram());
+        vm.registers[0] = 10;
+        int result = vm.run(10000);
+        System.out.println("10! = " + result + " in " + vm.steps
+                           + " steps");
+        System.out.println("trace = " + vm.trace);
+
+        // arithmetic program: ((6 * 7) - 2) / 4, with stack shuffling
+        int[] calc = new int[32];
+        int i = 0;
+        calc[i++] = PUSH; calc[i++] = 2;
+        calc[i++] = PUSH; calc[i++] = 6;
+        calc[i++] = PUSH; calc[i++] = 7;
+        calc[i++] = MUL;
+        calc[i++] = SWAP;
+        calc[i++] = SUB;           // 42 - 2? stack: [2,42] swap -> [42,2]
+        calc[i++] = PUSH; calc[i++] = 4;
+        calc[i++] = DIV;
+        calc[i++] = DUP;
+        calc[i++] = PRINT;
+        calc[i++] = HALT;
+        MiniVM vm2 = new MiniVM(calc);
+        System.out.println("calc = " + vm2.run(1000)
+                           + " trace=" + vm2.trace);
+
+        // error paths
+        int[] bad = new int[4];
+        bad[0] = PUSH; bad[1] = 1;
+        bad[2] = PUSH; bad[3] = 99;  // runs off the end
+        MiniVM vm3 = new MiniVM(bad);
+        try {
+            vm3.run(100);
+        } catch (VMError e) {
+            System.out.println("vm error: " + e.getMessage());
+        }
+
+        int[] div0 = new int[16];
+        i = 0;
+        div0[i++] = PUSH; div0[i++] = 8;
+        div0[i++] = PUSH; div0[i++] = 0;
+        div0[i++] = DIV;
+        div0[i++] = HALT;
+        MiniVM vm4 = new MiniVM(div0);
+        try {
+            vm4.run(100);
+        } catch (VMError e) {
+            System.out.println("vm error: " + e.getMessage());
+        }
+    }
+}

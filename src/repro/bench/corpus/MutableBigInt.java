@@ -1,0 +1,128 @@
+// Stand-in for sun.math.MutableBigInteger: in-place arbitrary-precision
+// arithmetic; every operation rereads this.value[...] so check
+// elimination across repeated accesses matters.
+class MutableBigInt {
+    int[] value;    // little-endian, base 1000000
+    int intLen;
+
+    MutableBigInt(int capacity) {
+        value = new int[capacity];
+        intLen = 0;
+    }
+
+    static MutableBigInt of(int v) {
+        MutableBigInt out = new MutableBigInt(4);
+        while (v > 0) {
+            out.value[out.intLen] = v % 1000000;
+            v = v / 1000000;
+            out.intLen = out.intLen + 1;
+        }
+        return out;
+    }
+
+    void grow(int capacity) {
+        if (capacity <= value.length) return;
+        int[] bigger = new int[capacity * 2];
+        for (int i = 0; i < intLen; i++) {
+            bigger[i] = value[i];
+        }
+        value = bigger;
+    }
+
+    void normalize() {
+        while (intLen > 0 && value[intLen - 1] == 0) {
+            intLen = intLen - 1;
+        }
+    }
+
+    void addInPlace(MutableBigInt other) {
+        int n = intLen;
+        if (other.intLen > n) n = other.intLen;
+        grow(n + 1);
+        int carry = 0;
+        for (int i = 0; i < n; i++) {
+            int sum = carry;
+            if (i < intLen) sum = sum + value[i];
+            if (i < other.intLen) sum = sum + other.value[i];
+            value[i] = sum % 1000000;
+            carry = sum / 1000000;
+        }
+        intLen = n;
+        if (carry > 0) {
+            value[n] = carry;
+            intLen = n + 1;
+        }
+    }
+
+    void mulSmallInPlace(int factor) {
+        grow(intLen + 2);
+        int carry = 0;
+        for (int i = 0; i < intLen; i++) {
+            int cell = value[i] * factor + carry;
+            value[i] = cell % 1000000;
+            carry = cell / 1000000;
+        }
+        int k = intLen;
+        while (carry > 0) {
+            value[k] = carry % 1000000;
+            carry = carry / 1000000;
+            k = k + 1;
+        }
+        if (k > intLen) intLen = k;
+        normalize();
+    }
+
+    void shiftLimbsLeft(int count) {
+        grow(intLen + count);
+        for (int i = intLen - 1; i >= 0; i--) {
+            value[i + count] = value[i];
+        }
+        for (int i = 0; i < count; i++) {
+            value[i] = 0;
+        }
+        intLen = intLen + count;
+        normalize();
+    }
+
+    int mod9() {
+        // digit-sum trick: 1000000 % 9 == 1, so limbs sum mod 9 works
+        int total = 0;
+        for (int i = 0; i < intLen; i++) {
+            total = (total + value[i]) % 9;
+        }
+        return total;
+    }
+
+    String render() {
+        if (intLen == 0) return "0";
+        String out = "" + value[intLen - 1];
+        for (int i = intLen - 2; i >= 0; i--) {
+            String chunk = "" + (value[i] + 1000000);
+            out = out + chunk.substring(1, 7);
+        }
+        return out;
+    }
+
+    static void main() {
+        MutableBigInt acc = of(1);
+        for (int i = 2; i <= 30; i++) {
+            acc.mulSmallInPlace(i);
+        }
+        System.out.println("30! = " + acc.render());
+        System.out.println("30! mod 9 = " + acc.mod9());
+
+        MutableBigInt total = of(0);
+        MutableBigInt step = of(999999);
+        for (int i = 0; i < 50; i++) {
+            total.addInPlace(step);
+            step.mulSmallInPlace(3);
+            step.normalize();
+        }
+        System.out.println("series mod 9 = " + total.mod9());
+        System.out.println("series limbs = " + total.intLen);
+
+        MutableBigInt shifted = of(123456);
+        shifted.shiftLimbsLeft(3);
+        System.out.println("shifted = " + shifted.render());
+    }
+}

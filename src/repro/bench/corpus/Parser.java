@@ -1,0 +1,185 @@
+// Stand-in for sun.tools.java.Parser: a recursive-descent parser building
+// an AST of Node objects, then folding and evaluating it.  Exercises
+// virtual dispatch, recursion, field traffic and exceptions.
+class ParseError extends Exception {
+    int position;
+    ParseError(String message, int position) {
+        super(message);
+        this.position = position;
+    }
+}
+
+class Node {
+    int eval(int[] env) throws ParseError { return 0; }
+    int size() { return 1; }
+    String show() { return "?"; }
+}
+
+class NumNode extends Node {
+    int value;
+    NumNode(int value) { this.value = value; }
+    int eval(int[] env) { return value; }
+    String show() { return "" + value; }
+}
+
+class VarNode extends Node {
+    int index;
+    VarNode(int index) { this.index = index; }
+    int eval(int[] env) throws ParseError {
+        if (index < 0 || index >= env.length) {
+            throw new ParseError("unbound variable", index);
+        }
+        return env[index];
+    }
+    String show() { return "v" + index; }
+}
+
+class BinNode extends Node {
+    char op;
+    Node left;
+    Node right;
+    BinNode(char op, Node left, Node right) {
+        this.op = op;
+        this.left = left;
+        this.right = right;
+    }
+    int eval(int[] env) throws ParseError {
+        int a = left.eval(env);
+        int b = right.eval(env);
+        switch (op) {
+            case '+': return a + b;
+            case '-': return a - b;
+            case '*': return a * b;
+            case '/':
+                if (b == 0) throw new ParseError("division by zero", 0);
+                return a / b;
+            default:
+                throw new ParseError("bad operator", op);
+        }
+    }
+    int size() { return 1 + left.size() + right.size(); }
+    String show() {
+        return "(" + left.show() + op + right.show() + ")";
+    }
+}
+
+class Parser {
+    String text;
+    int pos;
+
+    Parser(String text) {
+        this.text = text;
+        this.pos = 0;
+    }
+
+    char peek() {
+        if (pos >= text.length()) return '\0';
+        return text.charAt(pos);
+    }
+
+    void skip() {
+        while (peek() == ' ') pos = pos + 1;
+    }
+
+    boolean eat(char c) {
+        skip();
+        if (peek() == c) { pos = pos + 1; return true; }
+        return false;
+    }
+
+    Node parseExpr() throws ParseError {
+        Node node = parseTerm();
+        while (true) {
+            if (eat('+')) node = new BinNode('+', node, parseTerm());
+            else if (eat('-')) node = new BinNode('-', node, parseTerm());
+            else return node;
+        }
+    }
+
+    Node parseTerm() throws ParseError {
+        Node node = parseFactor();
+        while (true) {
+            if (eat('*')) node = new BinNode('*', node, parseFactor());
+            else if (eat('/')) node = new BinNode('/', node, parseFactor());
+            else return node;
+        }
+    }
+
+    Node parseFactor() throws ParseError {
+        skip();
+        char c = peek();
+        if (c == '(') {
+            pos = pos + 1;
+            Node inner = parseExpr();
+            if (!eat(')')) throw new ParseError("missing )", pos);
+            return inner;
+        }
+        if (c == 'v') {
+            pos = pos + 1;
+            return new VarNode(parseNumber());
+        }
+        if (Character.isDigit(c)) {
+            return new NumNode(parseNumber());
+        }
+        throw new ParseError("unexpected character", pos);
+    }
+
+    int parseNumber() throws ParseError {
+        skip();
+        if (!Character.isDigit(peek())) {
+            throw new ParseError("expected a number", pos);
+        }
+        int value = 0;
+        while (Character.isDigit(peek())) {
+            value = value * 10 + (peek() - '0');
+            pos = pos + 1;
+        }
+        return value;
+    }
+
+    // constant folding: a producer-side optimisation in miniature
+    static Node fold(Node node) {
+        if (node instanceof BinNode) {
+            BinNode bin = (BinNode) node;
+            Node left = fold(bin.left);
+            Node right = fold(bin.right);
+            if (left instanceof NumNode && right instanceof NumNode) {
+                int a = ((NumNode) left).value;
+                int b = ((NumNode) right).value;
+                if (bin.op == '+') return new NumNode(a + b);
+                if (bin.op == '-') return new NumNode(a - b);
+                if (bin.op == '*') return new NumNode(a * b);
+                if (bin.op == '/' && b != 0) return new NumNode(a / b);
+            }
+            return new BinNode(bin.op, left, right);
+        }
+        return node;
+    }
+
+    static void main() {
+        int[] env = new int[4];
+        env[0] = 7;
+        env[1] = -3;
+        env[2] = 100;
+        env[3] = 0;
+        String[] programs = new String[5];
+        programs[0] = "1 + 2 * 3";
+        programs[1] = "(v0 + v1) * (4 - 2) / 2";
+        programs[2] = "v2 / (v0 - 7)";
+        programs[3] = "10 * (2 + 3) - 8 / 4";
+        programs[4] = "v9 + 1";
+        for (int i = 0; i < programs.length; i++) {
+            Parser parser = new Parser(programs[i]);
+            try {
+                Node tree = parser.parseExpr();
+                Node folded = fold(tree);
+                int value = folded.eval(env);
+                System.out.println(i + ": " + folded.show() + " = " + value
+                                   + " (size " + tree.size() + "->"
+                                   + folded.size() + ")");
+            } catch (ParseError e) {
+                System.out.println(i + ": error " + e.getMessage());
+            }
+        }
+    }
+}

@@ -1,0 +1,185 @@
+// Stand-in for sun.tools.java.Scanner: a hand-written lexer for a small
+// expression language, heavy on char tests, switch dispatch and string
+// handling.
+class ScanToken {
+    int kind;        // 0 eof, 1 int, 2 ident, 3 op, 4 string
+    int intValue;
+    String text;
+
+    ScanToken(int kind, int intValue, String text) {
+        this.kind = kind;
+        this.intValue = intValue;
+        this.text = text;
+    }
+
+    String describe() {
+        switch (kind) {
+            case 0: return "<eof>";
+            case 1: return "int(" + intValue + ")";
+            case 2: return "ident(" + text + ")";
+            case 3: return "op(" + text + ")";
+            default: return "str(" + text + ")";
+        }
+    }
+}
+
+class Scanner {
+    String input;
+    int pos;
+    int line;
+    int tokenCount;
+    int errorCount;
+
+    Scanner(String input) {
+        this.input = input;
+        this.pos = 0;
+        this.line = 1;
+    }
+
+    boolean atEnd() {
+        return pos >= input.length();
+    }
+
+    char peek() {
+        if (atEnd()) return '\0';
+        return input.charAt(pos);
+    }
+
+    char advance() {
+        char c = peek();
+        pos = pos + 1;
+        if (c == '\n') line = line + 1;
+        return c;
+    }
+
+    void skipSpace() {
+        while (!atEnd()) {
+            char c = peek();
+            if (c == ' ' || c == '\t' || c == '\n' || c == '\r') {
+                advance();
+            } else if (c == '#') {
+                while (!atEnd() && peek() != '\n') advance();
+            } else {
+                break;
+            }
+        }
+    }
+
+    ScanToken next() {
+        skipSpace();
+        tokenCount = tokenCount + 1;
+        if (atEnd()) return new ScanToken(0, 0, "");
+        char c = peek();
+        if (Character.isDigit(c)) return scanNumber();
+        if (Character.isLetter(c) || c == '_') return scanIdent();
+        if (c == '"') return scanString();
+        return scanOperator();
+    }
+
+    ScanToken scanNumber() {
+        int value = 0;
+        int start = pos;
+        while (!atEnd() && Character.isDigit(peek())) {
+            value = value * 10 + (advance() - '0');
+        }
+        if (!atEnd() && peek() == 'x' && value == 0 && pos - start == 1) {
+            advance();
+            value = 0;
+            while (!atEnd() && isHexDigit(peek())) {
+                value = value * 16 + hexValue(advance());
+            }
+        }
+        return new ScanToken(1, value, "");
+    }
+
+    static boolean isHexDigit(char c) {
+        if (Character.isDigit(c)) return true;
+        return (c >= 'a' && c <= 'f') || (c >= 'A' && c <= 'F');
+    }
+
+    static int hexValue(char c) {
+        if (Character.isDigit(c)) return c - '0';
+        if (c >= 'a') return c - 'a' + 10;
+        return c - 'A' + 10;
+    }
+
+    ScanToken scanIdent() {
+        int start = pos;
+        while (!atEnd() && (Character.isLetterOrDigit(peek())
+                            || peek() == '_')) {
+            advance();
+        }
+        String text = input.substring(start, pos);
+        return new ScanToken(2, 0, text);
+    }
+
+    ScanToken scanString() {
+        advance();
+        String out = "";
+        while (!atEnd() && peek() != '"') {
+            char c = advance();
+            if (c == '\\' && !atEnd()) {
+                char esc = advance();
+                if (esc == 'n') out = out + "\n";
+                else out = out + esc;
+            } else {
+                out = out + c;
+            }
+        }
+        if (atEnd()) {
+            errorCount = errorCount + 1;
+        } else {
+            advance();
+        }
+        return new ScanToken(4, 0, out);
+    }
+
+    ScanToken scanOperator() {
+        char c = advance();
+        String text = "" + c;
+        char follow = peek();
+        switch (c) {
+            case '<':
+            case '>':
+            case '=':
+            case '!':
+                if (follow == '=') { advance(); text = text + "="; }
+                break;
+            case '&':
+                if (follow == '&') { advance(); text = "&&"; }
+                break;
+            case '|':
+                if (follow == '|') { advance(); text = "||"; }
+                break;
+            default:
+                break;
+        }
+        return new ScanToken(3, 0, text);
+    }
+
+    static void main() {
+        String program =
+            "x = 10 + 0x1f # comment\n"
+            + "while (x >= 3 && y != 4) { emit(\"a\\nb\", ident_9); }\n"
+            + "total = total * (x - 1) | mask";
+        Scanner scanner = new Scanner(program);
+        int idents = 0;
+        int ints = 0;
+        int ops = 0;
+        int sum = 0;
+        ScanToken token = scanner.next();
+        String last = "";
+        while (token.kind != 0) {
+            if (token.kind == 1) { ints = ints + 1; sum = sum + token.intValue; }
+            else if (token.kind == 2) idents = idents + 1;
+            else if (token.kind == 3) ops = ops + 1;
+            last = token.describe();
+            token = scanner.next();
+        }
+        System.out.println("tokens=" + scanner.tokenCount);
+        System.out.println("idents=" + idents + " ints=" + ints + " ops=" + ops);
+        System.out.println("sum=" + sum + " lines=" + scanner.line);
+        System.out.println("last=" + last);
+        System.out.println("errors=" + scanner.errorCount);
+    }
+}

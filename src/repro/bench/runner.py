@@ -1,0 +1,176 @@
+"""Command-line entry point regenerating every table and figure.
+
+Usage::
+
+    python -m repro.bench.runner figure5      # paper Figure 5
+    python -m repro.bench.runner figure6      # paper Figure 6
+    python -m repro.bench.runner pruning      # E3: dead-phi pruning
+    python -m repro.bench.runner ablation     # E4: per-pass contribution
+    python -m repro.bench.runner verifycost   # E5: verification cost
+    python -m repro.bench.runner jitspeed     # E9: consumer codegen speed
+    python -m repro.bench.runner all
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+
+from repro.bench.corpus import CORPUS_PROGRAMS, corpus_source
+from repro.bench.metrics import measure_corpus
+from repro.bench.tables import (
+    ablation_table,
+    figure5_table,
+    figure6_table,
+    phi_pruning_table,
+)
+from repro.pipeline import compile_to_module
+
+
+def run_figure5() -> str:
+    rows = measure_corpus()
+    return "Figure 5: SafeTSA class files compared to Java class files\n\n" \
+        + figure5_table(rows)
+
+
+def run_figure6() -> str:
+    rows = measure_corpus()
+    return ("Figure 6: Phi-, Null-Check and Array-Check instructions "
+            "before and after optimisation\n\n" + figure6_table(rows))
+
+
+def run_pruning() -> str:
+    results = []
+    for name in CORPUS_PROGRAMS:
+        source = corpus_source(name)
+        unpruned = compile_to_module(source, prune_phis=False)
+        pruned = compile_to_module(source, prune_phis=True)
+        results.append((name,
+                        unpruned.count_opcodes("phi"),
+                        pruned.count_opcodes("phi")))
+    return ("E3: eager (Brandis/Moessenboeck) phi insertion vs Briggs "
+            "pruning\n\n" + phi_pruning_table(results))
+
+
+def run_ablation() -> str:
+    configs = {
+        "none": [],
+        "constprop": ["constprop"],
+        "cse": ["cse"],
+        "dce": ["dce"],
+        "all": ["constprop", "cse", "dce"],
+    }
+    results = []
+    for name in CORPUS_PROGRAMS:
+        source = corpus_source(name)
+        counts = {}
+        for label, passes in configs.items():
+            module = compile_to_module(source)
+            if passes:
+                from repro.opt.pipeline import optimize_module
+                optimize_module(module, passes)
+            counts[label] = module.instruction_count()
+        results.append((name, counts))
+    return ("E4: instruction count per optimisation configuration\n\n"
+            + ablation_table(results))
+
+
+def run_verifycost() -> str:
+    from repro.frontend.parser import parse_compilation_unit
+    from repro.frontend.semantics import analyze
+    from repro.jvm.codegen import compile_unit
+    from repro.jvm.verifier import verify_class
+    from repro.tsa.verifier import verify_module
+    from repro.uast.builder import UastBuilder
+
+    lines = [
+        "E5: consumer-side verification cost "
+        "(SafeTSA counter check vs JVM dataflow)",
+        "",
+        f"{'Program':16} {'tsa (ms)':>9} {'jvm (ms)':>9} "
+        f"{'jvm steps':>10} {'ratio':>7}",
+        "-" * 56,
+    ]
+    total_tsa = 0.0
+    total_jvm = 0.0
+    for name in CORPUS_PROGRAMS:
+        source = corpus_source(name)
+        module = compile_to_module(source)
+        unit = parse_compilation_unit(source)
+        world = analyze(unit)
+        builder = UastBuilder(world)
+        classes = compile_unit(world, {decl.info: builder.build_class(decl)
+                                       for decl in unit.classes})
+        start = time.perf_counter()
+        verify_module(module)
+        tsa_ms = (time.perf_counter() - start) * 1000
+        start = time.perf_counter()
+        steps = sum(verify_class(world, cls) for cls in classes)
+        jvm_ms = (time.perf_counter() - start) * 1000
+        total_tsa += tsa_ms
+        total_jvm += jvm_ms
+        ratio = jvm_ms / tsa_ms if tsa_ms else float("inf")
+        lines.append(f"{name:16} {tsa_ms:9.2f} {jvm_ms:9.2f} "
+                     f"{steps:10} {ratio:7.2f}")
+    lines.append("-" * 56)
+    ratio = total_jvm / total_tsa if total_tsa else float("inf")
+    lines.append(f"{'TOTAL':16} {total_tsa:9.2f} {total_jvm:9.2f} "
+                 f"{'':10} {ratio:7.2f}")
+    return "\n".join(lines)
+
+
+def run_jitspeed() -> str:
+    from repro.interp.interpreter import Interpreter
+    from repro.interp.jit import JitCompiler
+    lines = [
+        "E9: consumer-side code generation (interpreter vs JIT)",
+        "",
+        f"{'Program':16} {'interp':>10} {'jit':>10} {'speedup':>8}",
+        "-" * 48,
+    ]
+    total_interp = total_jit = 0.0
+    for name in ("BitSieve", "Linpack", "BigInt", "MiniVM"):
+        module = compile_to_module(corpus_source(name), optimize=True)
+        start = time.perf_counter()
+        Interpreter(module, max_steps=200_000_000).run_main(name)
+        interp_s = time.perf_counter() - start
+        start = time.perf_counter()
+        JitCompiler(module).run_main(name)
+        jit_s = time.perf_counter() - start
+        total_interp += interp_s
+        total_jit += jit_s
+        lines.append(f"{name:16} {interp_s * 1000:8.1f}ms "
+                     f"{jit_s * 1000:8.1f}ms {interp_s / jit_s:7.1f}x")
+    lines.append("-" * 48)
+    lines.append(f"{'TOTAL':16} {total_interp * 1000:8.1f}ms "
+                 f"{total_jit * 1000:8.1f}ms "
+                 f"{total_interp / total_jit:7.1f}x")
+    return "\n".join(lines)
+
+
+COMMANDS = {
+    "figure5": run_figure5,
+    "figure6": run_figure6,
+    "pruning": run_pruning,
+    "ablation": run_ablation,
+    "verifycost": run_verifycost,
+    "jitspeed": run_jitspeed,
+}
+
+
+def main(argv=None) -> int:
+    argv = argv if argv is not None else sys.argv[1:]
+    if not argv or argv[0] not in list(COMMANDS) + ["all"]:
+        print(__doc__)
+        return 2
+    if argv[0] == "all":
+        for name, command in COMMANDS.items():
+            print(command())
+            print()
+    else:
+        print(COMMANDS[argv[0]]())
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,133 @@
+"""Renderers for the paper's evaluation artifacts.
+
+``figure5`` prints the size / instruction-count comparison (paper
+Figure 5), ``figure6`` the phi / null-check / array-check reductions
+(paper Figure 6), and the ablation/pruning tables back experiments
+E3 and E4 (see DESIGN.md).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.bench.metrics import ClassMetrics
+
+
+def _fmt_delta(before: int, after: int) -> str:
+    if before == 0:
+        return "N/A"
+    return f"{round(100 * (after - before) / before):+d}%"
+
+
+def figure5_table(rows: list[ClassMetrics]) -> str:
+    """Figure 5: file sizes and instruction counts, per class."""
+    header = (f"{'Class Name':24} | {'Bytecode':>9} {'SafeTSA':>9} "
+              f"{'TSA-opt':>9} | {'Bytecode':>9} {'SafeTSA':>9} "
+              f"{'TSA-opt':>9}")
+    ruler = "-" * len(header)
+    lines = [
+        f"{'':24} | {'file size (bytes)':^29} | "
+        f"{'number of instructions':^29}",
+        header,
+        ruler,
+    ]
+    program = None
+    for row in rows:
+        if row.program != program:
+            program = row.program
+            lines.append(f"{program}")
+        lines.append(
+            f"  {row.class_name:22} | {row.bytecode_size:9} "
+            f"{row.tsa_size:9} {row.tsa_opt_size:9} | "
+            f"{row.bytecode_insns:9} {row.tsa_insns:9} "
+            f"{row.tsa_opt_insns:9}")
+    total = _totals(rows)
+    lines.append(ruler)
+    lines.append(
+        f"  {'TOTAL':22} | {total['bytecode_size']:9} "
+        f"{total['tsa_size']:9} {total['tsa_opt_size']:9} | "
+        f"{total['bytecode_insns']:9} {total['tsa_insns']:9} "
+        f"{total['tsa_opt_insns']:9}")
+    ratio_plain = total["tsa_insns"] / max(total["bytecode_insns"], 1)
+    ratio_size = total["tsa_size"] / max(total["bytecode_size"], 1)
+    opt_gain = 1 - total["tsa_opt_insns"] / max(total["tsa_insns"], 1)
+    lines.append("")
+    lines.append(f"SafeTSA / bytecode instructions: {ratio_plain:.2f}  "
+                 f"(paper Figure 5 rows: ~0.60-0.75)")
+    lines.append(f"SafeTSA / bytecode file size:    {ratio_size:.2f}  "
+                 f"(paper: usually smaller)")
+    lines.append(f"optimisation instruction gain:   {opt_gain:.1%}  "
+                 f"(paper: >10% in most cases)")
+    return "\n".join(lines)
+
+
+def _totals(rows: list[ClassMetrics]) -> dict:
+    keys = ("bytecode_size", "tsa_size", "tsa_opt_size",
+            "bytecode_insns", "tsa_insns", "tsa_opt_insns",
+            "phis_before", "phis_after", "nullchecks_before",
+            "nullchecks_after", "idxchecks_before", "idxchecks_after")
+    return {key: sum(getattr(row, key) for row in rows) for key in keys}
+
+
+def figure6_table(rows: list[ClassMetrics]) -> str:
+    """Figure 6: check/phi counts before and after optimisation."""
+    header = (f"{'Class Name':24} | {'Phi Instructions':^20} | "
+              f"{'Null-Checks':^20} | {'Array-Checks':^20}")
+    sub = (f"{'':24} | {'Before':>6} {'After':>6} {'d%':>5} | "
+           f"{'Before':>6} {'After':>6} {'d%':>5} | "
+           f"{'Before':>6} {'After':>6} {'d%':>5}")
+    ruler = "-" * len(sub)
+    lines = [header, sub, ruler]
+    program = None
+    for row in rows:
+        if row.program != program:
+            program = row.program
+            lines.append(f"{program}")
+        lines.append(
+            f"  {row.class_name:22} | "
+            f"{row.phis_before:6} {row.phis_after:6} "
+            f"{_fmt_delta(row.phis_before, row.phis_after):>5} | "
+            f"{row.nullchecks_before:6} {row.nullchecks_after:6} "
+            f"{_fmt_delta(row.nullchecks_before, row.nullchecks_after):>5} | "
+            f"{row.idxchecks_before:6} {row.idxchecks_after:6} "
+            f"{_fmt_delta(row.idxchecks_before, row.idxchecks_after):>5}")
+    total = _totals(rows)
+    lines.append(ruler)
+    lines.append(
+        f"  {'TOTAL':22} | "
+        f"{total['phis_before']:6} {total['phis_after']:6} "
+        f"{_fmt_delta(total['phis_before'], total['phis_after']):>5} | "
+        f"{total['nullchecks_before']:6} {total['nullchecks_after']:6} "
+        f"{_fmt_delta(total['nullchecks_before'], total['nullchecks_after']):>5} | "
+        f"{total['idxchecks_before']:6} {total['idxchecks_after']:6} "
+        f"{_fmt_delta(total['idxchecks_before'], total['idxchecks_after']):>5}")
+    return "\n".join(lines)
+
+
+def phi_pruning_table(results: list[tuple[str, int, int]]) -> str:
+    """E3: phi counts with and without Briggs pruning, per program."""
+    lines = [f"{'Program':16} {'unpruned':>9} {'pruned':>8} {'d%':>6}",
+             "-" * 42]
+    total_unpruned = 0
+    total_pruned = 0
+    for name, unpruned, pruned in results:
+        total_unpruned += unpruned
+        total_pruned += pruned
+        lines.append(f"{name:16} {unpruned:9} {pruned:8} "
+                     f"{_fmt_delta(unpruned, pruned):>6}")
+    lines.append("-" * 42)
+    lines.append(f"{'TOTAL':16} {total_unpruned:9} {total_pruned:8} "
+                 f"{_fmt_delta(total_unpruned, total_pruned):>6} "
+                 f"(paper: -31% on average)")
+    return "\n".join(lines)
+
+
+def ablation_table(results: list[tuple[str, dict[str, int]]]) -> str:
+    """E4: per-pass instruction-count contribution."""
+    passes = ("none", "constprop", "cse", "dce", "all")
+    header = f"{'Program':16}" + "".join(f"{p:>11}" for p in passes)
+    lines = [header, "-" * len(header)]
+    for name, counts in results:
+        lines.append(f"{name:16}" + "".join(
+            f"{counts[p]:11}" for p in passes))
+    return "\n".join(lines)

@@ -1,0 +1,142 @@
+"""``repro-cc``: command-line driver for the SafeTSA toolchain.
+
+Subcommands::
+
+    repro-cc compile FILE.java -o FILE.stsa [--optimize] [--no-prune]
+    repro-cc run     FILE.java|FILE.stsa [--class NAME] [--optimize]
+    repro-cc disasm  FILE.java|FILE.stsa [--optimize]
+    repro-cc verify  FILE.stsa
+    repro-cc stats   FILE.java
+    repro-cc bench   figure5|figure6|pruning|ablation|verifycost|all
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+
+def _load_module(path: str, optimize: bool, prune: bool = True):
+    from repro.encode.deserializer import decode_module
+    from repro.pipeline import compile_to_module
+    data = Path(path).read_bytes()
+    if path.endswith(".stsa"):
+        return decode_module(data)
+    return compile_to_module(data.decode("utf-8"), optimize=optimize,
+                             prune_phis=prune, filename=path)
+
+
+def cmd_compile(args) -> int:
+    from repro.encode.serializer import encode_module
+    module = _load_module(args.file, args.optimize, not args.no_prune)
+    wire = encode_module(module)
+    out = args.output or str(Path(args.file).with_suffix(".stsa"))
+    Path(out).write_bytes(wire)
+    print(f"{out}: {len(wire)} bytes, {module.instruction_count()} "
+          f"instructions, {len(module.classes)} classes")
+    return 0
+
+
+def cmd_run(args) -> int:
+    from repro.interp.interpreter import Interpreter
+    module = _load_module(args.file, args.optimize)
+    interp = Interpreter(module, max_steps=args.max_steps)
+    result = interp.run_main(getattr(args, "class"))
+    sys.stdout.write(result.stdout)
+    if result.exception is not None:
+        print(f"Exception in thread \"main\" {result.exception_name()}",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+def cmd_disasm(args) -> int:
+    module = _load_module(args.file, args.optimize)
+    if args.lr:
+        from repro.tsa.disasm import format_module_lr
+        print(format_module_lr(module))
+    else:
+        from repro.ssa.printer import format_module
+        print(format_module(module))
+    return 0
+
+
+def cmd_verify(args) -> int:
+    from repro.tsa.verifier import VerifyError, verify_module
+    try:
+        module = _load_module(args.file, optimize=False)
+        verify_module(module)
+    except Exception as error:
+        print(f"REJECTED: {error}")
+        return 1
+    print(f"OK: {len(module.classes)} classes, "
+          f"{module.instruction_count()} instructions verified")
+    return 0
+
+
+def cmd_stats(args) -> int:
+    from repro.bench.metrics import measure_program
+    from repro.bench.tables import figure5_table, figure6_table
+    source = Path(args.file).read_text()
+    rows = measure_program(Path(args.file).stem, source)
+    print(figure5_table(rows))
+    print()
+    print(figure6_table(rows))
+    return 0
+
+
+def cmd_bench(args) -> int:
+    from repro.bench.runner import main as bench_main
+    return bench_main([args.table])
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-cc",
+        description="SafeTSA mobile-code toolchain (PLDI 2001 reproduction)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("compile", help="Java source -> .stsa wire file")
+    p.add_argument("file")
+    p.add_argument("-o", "--output")
+    p.add_argument("--optimize", action="store_true")
+    p.add_argument("--no-prune", action="store_true",
+                   help="keep eagerly inserted phis")
+    p.set_defaults(fn=cmd_compile)
+
+    p = sub.add_parser("run", help="execute a program's static main")
+    p.add_argument("file")
+    p.add_argument("--class", default=None,
+                   help="class whose main to run")
+    p.add_argument("--optimize", action="store_true")
+    p.add_argument("--max-steps", type=int, default=200_000_000)
+    p.set_defaults(fn=cmd_run)
+
+    p = sub.add_parser("disasm", help="print SafeTSA disassembly")
+    p.add_argument("file")
+    p.add_argument("--optimize", action="store_true")
+    p.add_argument("--lr", action="store_true",
+                   help="use the paper's (l-r) register notation")
+    p.set_defaults(fn=cmd_disasm)
+
+    p = sub.add_parser("verify", help="decode + verify a .stsa file")
+    p.add_argument("file")
+    p.set_defaults(fn=cmd_verify)
+
+    p = sub.add_parser("stats", help="Figure 5/6 metrics for one source")
+    p.add_argument("file")
+    p.set_defaults(fn=cmd_stats)
+
+    p = sub.add_parser("bench", help="regenerate a paper table")
+    p.add_argument("table", choices=["figure5", "figure6", "pruning",
+                                     "ablation", "verifycost",
+                                     "jitspeed", "all"])
+    p.set_defaults(fn=cmd_bench)
+
+    args = parser.parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

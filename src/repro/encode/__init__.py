@@ -1,0 +1,29 @@
+"""SafeTSA wire format.
+
+The encoder externalises a module in the paper's three phases
+(Section 7): (1) the Control Structure Tree as a sequence of grammar
+productions, (2) the basic blocks in dominator-tree pre-order, each
+instruction as opcode, type operands, and ``(l, r)`` value references,
+and (3) the phi-node operands, postponed because they may reference
+instructions that follow them in the pre-order.
+
+Every symbol is drawn from a finite alphabet determined entirely by the
+preceding context -- the opcode list, the type table size, a member-table
+size, or the number of registers currently visible on the relevant plane.
+Symbols are written in phase-in (truncated binary) codes, "similar to
+Huffman encoding with fixed equal probabilities for all symbols".  As a
+consequence, a reference to a non-dominating or wrongly-typed value is
+not merely rejected: it has no encoding at all.
+"""
+
+from repro.encode.bitio import BitReader, BitWriter
+from repro.encode.serializer import encode_module
+from repro.encode.deserializer import DecodeError, decode_module
+
+__all__ = [
+    "BitReader",
+    "BitWriter",
+    "encode_module",
+    "decode_module",
+    "DecodeError",
+]

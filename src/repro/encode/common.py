@@ -1,0 +1,29 @@
+"""Shared wire-format vocabulary (alphabets and tags)."""
+
+from __future__ import annotations
+
+MAGIC = b"STSA1"
+
+#: instruction opcode alphabet, in wire order
+OPCODES = (
+    "const", "param", "primitive", "xprimitive", "refcmp",
+    "nullcheck", "idxcheck", "upcast", "downcast",
+    "getfield", "setfield", "getstatic", "setstatic",
+    "getelt", "setelt", "arraylen",
+    "new", "newarray", "instanceof",
+    "xcall", "xdispatch", "caughtexc",
+)
+OPCODE_INDEX = {name: i for i, name in enumerate(OPCODES)}
+
+#: CST region symbols (phase 1)
+REGIONS = ("basic", "seq", "if", "ifelse", "while", "dowhile", "loop",
+           "labeled", "try")
+REGION_INDEX = {name: i for i, name in enumerate(REGIONS)}
+
+#: leaf terminator kinds (structural, phase 1)
+TERM_KINDS = ("fall", "return", "throw", "break", "continue", "unreachable")
+TERM_INDEX = {name: i for i, name in enumerate(TERM_KINDS)}
+
+#: the six primitive base types eligible for primitive/xprimitive
+#: (indices into TypeTable PRIMITIVE_ORDER, excluding void)
+PRIMITIVE_BASES = 6

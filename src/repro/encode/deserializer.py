@@ -1,0 +1,654 @@
+"""Module decoder: wire bytes -> verified SafeTSA in-memory form.
+
+The decoder is where "safety by construction" becomes operational: every
+symbol it reads is drawn from an alphabet it computed itself -- the type
+table it rebuilt, the member tables of the class it resolved, and the
+registers visible on the required plane at the current point of the
+dominator tree.  A bit pattern can therefore denote *only* well-formed
+references; streams that would need anything else fail with
+:class:`DecodeError`.  The handful of rules that are cheaper to check
+than to make unrepresentable (trapping instructions must close their
+subblock, ``downcast`` must widen, ``xprimitive`` must name a trapping
+operation) are enforced inline -- these are the paper's "simple counter"
+checks.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Optional
+
+from repro.encode.bitio import BitIOError, BitReader
+from repro.encode.common import (
+    MAGIC,
+    OPCODES,
+    PRIMITIVE_BASES,
+    REGIONS,
+    TERM_KINDS,
+)
+from repro.ssa.cst import (
+    CstError,
+    RBasic,
+    RDoWhile,
+    RIf,
+    RLabeled,
+    RLoop,
+    RSeq,
+    RTry,
+    RWhile,
+    Region,
+    _entry_block,
+    derive_cfg,
+    map_exception_contexts,
+)
+from repro.ssa.dominators import compute_dominators
+from repro.ssa import ir
+from repro.ssa.ir import (
+    Block,
+    Function,
+    Instr,
+    Module,
+    Phi,
+    Plane,
+    Term,
+)
+from repro.typesys.ops import OPS_BY_TYPE
+from repro.typesys.table import TypeTable
+from repro.typesys.types import (
+    ArrayType,
+    BOOLEAN,
+    CHAR,
+    ClassType,
+    DOUBLE,
+    FLOAT,
+    INT,
+    LONG,
+    PrimitiveType,
+    Type,
+    VOID,
+)
+from repro.typesys.world import ClassInfo, FieldInfo, MethodInfo, World
+
+
+class DecodeError(Exception):
+    """The byte stream does not encode a well-formed SafeTSA module."""
+
+
+def _read_utf8(reader: BitReader) -> str:
+    length = reader.read_gamma()
+    if length > 1 << 20:
+        raise DecodeError("unreasonable string length")
+    try:
+        return reader.read_bytes(length).decode("utf-8")
+    except UnicodeDecodeError as error:
+        raise DecodeError(f"bad utf-8: {error}") from None
+
+
+class _ModuleDecoder:
+    def __init__(self, data: bytes):
+        self.reader = BitReader(data)
+        self.world = World()
+        self.table = TypeTable(self.world)
+        self.module = Module(self.world, self.table)
+
+    def decode(self) -> Module:
+        reader = self.reader
+        if reader.read_bytes(len(MAGIC)) != MAGIC:
+            raise DecodeError("bad magic")
+        declared_count = reader.read_gamma()
+        if declared_count > 1 << 16:
+            raise DecodeError("unreasonable type table size")
+        class_infos: list[ClassInfo] = []
+        for _ in range(declared_count):
+            if reader.read_flag():  # array entry
+                elem_index = reader.read_bounded(len(self.table))
+                elem = self.table.type_at(elem_index)
+                if elem is VOID:
+                    raise DecodeError("array of void")
+                array = ArrayType(elem)
+                if array in self.table:
+                    raise DecodeError("duplicate array entry")
+                self.table.intern(array)
+            else:
+                name = _read_utf8(reader)
+                if self.world.lookup(name) is not None and \
+                        name in self.world.classes:
+                    raise DecodeError(f"duplicate class {name}")
+                if not name or name.startswith("java."):
+                    raise DecodeError(f"illegal class name {name!r}")
+                info = ClassInfo(name)
+                self.world.define_class(info)
+                self.table.declare_class(info)
+                class_infos.append(info)
+        table_size = len(self.table)
+        for info in class_infos:
+            super_type = self.table.type_at(reader.read_bounded(table_size))
+            if not isinstance(super_type, ClassType):
+                raise DecodeError("superclass is not a class type")
+            info.super_name = super_type.name
+            info.is_abstract = reader.read_flag()
+        self._check_hierarchy(class_infos)
+        bodies: list[MethodInfo] = []
+        for info in class_infos:
+            bodies.extend(self._decode_members(info, table_size))
+        self.world.link()
+        self.table.invalidate_member_tables()
+        self.module.classes = class_infos
+        for method in bodies:
+            function = _FunctionDecoder(self, method).decode()
+            self.module.add_function(function)
+        self._require_end()
+        return self.module
+
+    def _require_end(self) -> None:
+        """The stream must be fully consumed (only zero padding to the
+        byte boundary may remain): trailing data cannot ride along."""
+        reader = self.reader
+        remaining = len(reader._data) * 8 - reader._pos
+        if remaining >= 8:
+            raise DecodeError(f"{remaining} trailing bits after the module")
+        if remaining and reader.read_bits(remaining) != 0:
+            raise DecodeError("nonzero padding bits")
+
+    def _check_hierarchy(self, class_infos: list[ClassInfo]) -> None:
+        for info in class_infos:
+            seen = set()
+            name: Optional[str] = info.name
+            while name is not None:
+                if name in seen:
+                    raise DecodeError(f"cyclic class hierarchy at {name}")
+                seen.add(name)
+                parent = self.world.lookup(name)
+                if parent is None:
+                    raise DecodeError(f"unknown superclass {name}")
+                name = parent.super_name
+
+    def _decode_members(self, info: ClassInfo,
+                        table_size: int) -> list[MethodInfo]:
+        reader = self.reader
+        bodies: list[MethodInfo] = []
+        field_count = reader.read_gamma()
+        if field_count > 1 << 14:
+            raise DecodeError("unreasonable field count")
+        for _ in range(field_count):
+            name = _read_utf8(reader)
+            is_static = reader.read_flag()
+            is_final = reader.read_flag()
+            field_type = self.table.type_at(reader.read_bounded(table_size))
+            if field_type is VOID:
+                raise DecodeError("field of type void")
+            info.add_field(FieldInfo(name, field_type, is_static, is_final))
+        method_count = reader.read_gamma()
+        if method_count > 1 << 14:
+            raise DecodeError("unreasonable method count")
+        for _ in range(method_count):
+            name = _read_utf8(reader)
+            is_static = reader.read_flag()
+            is_abstract = reader.read_flag()
+            param_count = reader.read_gamma()
+            if param_count > 255:
+                raise DecodeError("unreasonable parameter count")
+            params = [self.table.type_at(reader.read_bounded(table_size))
+                      for _ in range(param_count)]
+            if any(p is VOID for p in params):
+                raise DecodeError("parameter of type void")
+            return_type = self.table.type_at(reader.read_bounded(table_size))
+            method = MethodInfo(name, params, return_type,
+                                is_static=is_static, is_abstract=is_abstract)
+            info.add_method(method)
+            if reader.read_flag():
+                if is_abstract:
+                    raise DecodeError("abstract method with a body")
+                bodies.append(method)
+        return bodies
+
+
+class _FunctionDecoder:
+    def __init__(self, parent: _ModuleDecoder, method: MethodInfo):
+        self.reader = parent.reader
+        self.world = parent.world
+        self.table = parent.table
+        self.module = parent.module
+        self.method = method
+        self.function = Function(method, method.declaring)
+        #: block id -> plane -> list of value instrs, in register order
+        self.planes: dict[int, dict[Plane, list[Instr]]] = {}
+        self._defined: dict[Plane, int] = {}
+
+    # ==================================================================
+
+    def decode(self) -> Function:
+        try:
+            cst = self._decode_region(break_depth=0, loop_depth=0,
+                                      in_try=False)
+        except RecursionError:
+            raise DecodeError("control structure nests too deeply") from None
+        self.function.cst = cst
+        if not self.function.blocks:
+            raise DecodeError("method body has no blocks")
+        self.function.entry = self.function.blocks[0]
+        try:
+            derive_cfg(self.function)
+        except CstError as error:
+            raise DecodeError(f"bad control structure: {error}") from None
+        self.domtree = compute_dominators(self.function)
+        if self.function.entry.preds:
+            raise DecodeError("entry block has predecessors")
+        self.dispatch_of = map_exception_contexts(cst)
+        for block in self.domtree.preorder:
+            self._decode_block(block)
+        for block in self.domtree.preorder:
+            self._decode_phi_operands(block)
+        return self.function
+
+    # -- phase 1 -----------------------------------------------------------
+
+    def _decode_region(self, break_depth: int, loop_depth: int,
+                       in_try: bool) -> Region:
+        reader = self.reader
+        symbol = REGIONS[reader.read_bounded(len(REGIONS))]
+        if symbol == "basic":
+            block = self.function.new_block()
+            kind = TERM_KINDS[reader.read_bounded(len(TERM_KINDS))]
+            depth = 0
+            if kind == "break":
+                if break_depth == 0:
+                    raise DecodeError("break outside a breakable region")
+                depth = reader.read_bounded(break_depth)
+            elif kind == "continue":
+                if loop_depth == 0:
+                    raise DecodeError("continue outside a loop")
+                depth = reader.read_bounded(loop_depth)
+            block.term = Term(kind, None, depth)
+            exc = reader.read_flag() if in_try else False
+            return RBasic(block, exc)
+        if symbol == "seq":
+            count = self.reader.read_gamma()
+            if count > 1 << 16:
+                raise DecodeError("unreasonable sequence length")
+            return RSeq([self._decode_region(break_depth, loop_depth, in_try)
+                         for _ in range(count)])
+        if symbol in ("if", "ifelse"):
+            cond = self.function.new_block()
+            cond.term = Term("branch", None)
+            then_region = self._decode_region(break_depth, loop_depth,
+                                              in_try)
+            else_region = None
+            if symbol == "ifelse":
+                else_region = self._decode_region(break_depth, loop_depth,
+                                                  in_try)
+            return RIf(cond, then_region, else_region)
+        if symbol == "while":
+            header = self.function.new_block()
+            header.term = Term("branch", None)
+            body = self._decode_region(break_depth + 1, loop_depth + 1,
+                                       in_try)
+            return RWhile(header, body)
+        if symbol == "dowhile":
+            body = self._decode_region(break_depth + 1, loop_depth + 1,
+                                       in_try)
+            cond = self.function.new_block()
+            cond.term = Term("branch", None)
+            return RDoWhile(body, cond)
+        if symbol == "loop":
+            return RLoop(self._decode_region(break_depth + 1, loop_depth + 1,
+                                             in_try))
+        if symbol == "labeled":
+            return RLabeled(self._decode_region(break_depth + 1, loop_depth,
+                                                in_try))
+        if symbol == "try":
+            body = self._decode_region(break_depth, loop_depth, True)
+            handler = self._decode_region(break_depth, loop_depth, in_try)
+            try:
+                dispatch = _entry_block(handler)
+            except CstError as error:
+                raise DecodeError(str(error)) from None
+            return RTry(body, dispatch, handler)
+        raise DecodeError(f"unknown region symbol {symbol}")
+
+    # -- phase 2 -----------------------------------------------------------
+
+    def _read_plane(self) -> Plane:
+        type = self.table.type_at(self.reader.read_bounded(len(self.table)))
+        if type is VOID:
+            raise DecodeError("plane of type void")
+        if type.is_reference():
+            if self.reader.read_flag():
+                return Plane.safe(type)
+            return Plane("ref", type)
+        return Plane("prim", type)
+
+    def _type_ref(self) -> Type:
+        return self.table.type_at(self.reader.read_bounded(len(self.table)))
+
+    def _class_ref(self) -> ClassInfo:
+        type = self._type_ref()
+        if not isinstance(type, ClassType):
+            raise DecodeError(f"{type} is not a class type")
+        return self.world.class_of(type)
+
+    def _array_ref(self) -> ArrayType:
+        type = self._type_ref()
+        if not isinstance(type, ArrayType):
+            raise DecodeError(f"{type} is not an array type")
+        return type
+
+    def _ref_type_ref(self) -> Type:
+        type = self._type_ref()
+        if not type.is_reference():
+            raise DecodeError(f"{type} is not a reference type")
+        return type
+
+    def _resolve_ref(self, block: Block, plane: Plane,
+                     defined: int) -> Instr:
+        """Read one (flattened) value reference on ``plane``."""
+        alphabet = defined
+        current: Optional[Block] = self.domtree.idom.get(block)
+        while current is not None:
+            alphabet += len(self.planes.get(current.id, {}).get(plane, ()))
+            current = self.domtree.idom.get(current)
+        index = self.reader.read_bounded(alphabet)
+        if index < defined:
+            return self.planes[block.id][plane][index]
+        index -= defined
+        current = self.domtree.idom.get(block)
+        while current is not None:
+            regs = self.planes.get(current.id, {}).get(plane, ())
+            if index < len(regs):
+                return regs[index]
+            index -= len(regs)
+            current = self.domtree.idom.get(current)
+        raise DecodeError("unresolvable value reference")
+
+    def _ref(self, block: Block, plane: Plane) -> Instr:
+        return self._resolve_ref(block, plane,
+                                 self._defined.get(plane, 0))
+
+    def _record(self, block: Block, instr: Instr) -> Instr:
+        block.append(instr)
+        if instr.plane is not None:
+            regs = self.planes[block.id].setdefault(instr.plane, [])
+            regs.append(instr)
+            self._defined[instr.plane] = self._defined.get(instr.plane,
+                                                           0) + 1
+        return instr
+
+    def _decode_block(self, block: Block) -> None:
+        reader = self.reader
+        self.planes[block.id] = {}
+        self._defined = {}
+        phi_count = reader.read_gamma()
+        if phi_count > 1 << 16:
+            raise DecodeError("unreasonable phi count")
+        if phi_count and not block.preds:
+            raise DecodeError("phis in a block without predecessors")
+        for _ in range(phi_count):
+            plane = self._read_plane()
+            phi = Phi(plane)
+            self._record(block, phi)
+        instr_count = reader.read_gamma()
+        if instr_count > 1 << 20:
+            raise DecodeError("unreasonable instruction count")
+        dispatch = self.dispatch_of.get(block.id)
+        exc_edge = block.exc_succ()
+        for position in range(instr_count):
+            instr = self._decode_instr(block)
+            if instr.traps and dispatch is not None:
+                if position != instr_count - 1:
+                    raise DecodeError(
+                        "trapping instruction does not close its subblock")
+                if exc_edge is not dispatch:
+                    raise DecodeError(
+                        "trapping subblock lacks its exception edge")
+            if isinstance(instr, ir.CaughtExc):
+                kinds = {kind for _, kind in block.preds}
+                if kinds != {"exc"}:
+                    raise DecodeError("caughtexc outside a dispatch block")
+        term = block.term
+        if exc_edge is not None and term.kind == "fall":
+            if not (block.instrs and block.instrs[-1].traps):
+                raise DecodeError("exception edge without exception point")
+        if term.kind == "branch":
+            term.value = self._ref(block, Plane.of_type(BOOLEAN))
+            term.value.users.add(ir._TermUse(term))
+        elif term.kind == "return":
+            expected = self.method.return_type
+            if expected is not VOID:
+                term.value = self._ref(block, Plane.of_type(expected))
+                term.value.users.add(ir._TermUse(term))
+        elif term.kind == "throw":
+            term.value = self._ref(
+                block, Plane.safe(ClassType("java.lang.Throwable")))
+            term.value.users.add(ir._TermUse(term))
+
+    def _decode_instr(self, block: Block) -> Instr:
+        opcode = OPCODES[self.reader.read_bounded(len(OPCODES))]
+        handler = getattr(self, "_op_" + opcode)
+        instr = handler(block)
+        return self._record(block, instr)
+
+    # -- per-opcode readers --------------------------------------------------
+
+    def _require_entry(self, block: Block, what: str) -> None:
+        if block is not self.function.entry:
+            raise DecodeError(f"{what} outside the entry block")
+
+    def _op_const(self, block: Block) -> Instr:
+        self._require_entry(block, "const")
+        reader = self.reader
+        type = self._type_ref()
+        if type is INT:
+            value = reader.read_signed_gamma()
+            if not -(2**31) <= value < 2**31:
+                raise DecodeError("int constant out of range")
+        elif type is LONG:
+            value = reader.read_signed_gamma()
+            if not -(2**63) <= value < 2**63:
+                raise DecodeError("long constant out of range")
+        elif type is BOOLEAN:
+            value = reader.read_flag()
+        elif type is CHAR:
+            value = reader.read_bits(16)
+        elif type is FLOAT:
+            value = struct.unpack(">f",
+                                  struct.pack(">I", reader.read_bits(32)))[0]
+        elif type is DOUBLE:
+            value = struct.unpack(">d",
+                                  struct.pack(">Q", reader.read_bits(64)))[0]
+        elif type == ClassType("java.lang.String"):
+            value = _read_utf8(reader) if reader.read_flag() else None
+        elif type.is_reference():
+            value = None
+        else:
+            raise DecodeError(f"constant of type {type}")
+        return ir.Const(type, value)
+
+    def _op_param(self, block: Block) -> Instr:
+        self._require_entry(block, "param")
+        method = self.method
+        arity = len(method.param_types) + (0 if method.is_static else 1)
+        if arity == 0:
+            raise DecodeError("param in a method without parameters")
+        index = self.reader.read_bounded(arity)
+        if method.is_static:
+            type = method.param_types[index]
+            is_this = False
+        elif index == 0:
+            type = method.declaring.type
+            is_this = True
+        else:
+            type = method.param_types[index - 1]
+            is_this = False
+        param = ir.Param(index, type, is_this=is_this)
+        self.function.params.append(param)
+        return param
+
+    def _decode_prim(self, block: Block, expect_traps: bool) -> Instr:
+        base_index = self.reader.read_bounded(PRIMITIVE_BASES)
+        base = self.table.type_at(base_index)
+        ops = OPS_BY_TYPE[base]
+        operation = ops[self.reader.read_bounded(len(ops))]
+        if operation.traps != expect_traps:
+            raise DecodeError(
+                f"{operation.qualified_name} used with the wrong "
+                "primitive/xprimitive opcode")
+        args = [self._ref(block, Plane.of_type(param))
+                for param in operation.params]
+        return ir.Prim(operation, args)
+
+    def _op_primitive(self, block: Block) -> Instr:
+        return self._decode_prim(block, expect_traps=False)
+
+    def _op_xprimitive(self, block: Block) -> Instr:
+        return self._decode_prim(block, expect_traps=True)
+
+    def _op_refcmp(self, block: Block) -> Instr:
+        is_eq = self.reader.read_flag()
+        plane_type = self._ref_type_ref()
+        plane = Plane.of_type(plane_type)
+        left = self._ref(block, plane)
+        right = self._ref(block, plane)
+        return ir.RefCmp(is_eq, plane_type, left, right)
+
+    def _op_nullcheck(self, block: Block) -> Instr:
+        ref_type = self._ref_type_ref()
+        value = self._ref(block, Plane.of_type(ref_type))
+        return ir.NullCheck(ref_type, value)
+
+    def _op_idxcheck(self, block: Block) -> Instr:
+        array_type = self._array_ref()
+        array = self._ref(block, Plane.safe(array_type))
+        index = self._ref(block, Plane.of_type(INT))
+        return ir.IdxCheck(array, index)
+
+    def _op_upcast(self, block: Block) -> Instr:
+        target = self._ref_type_ref()
+        source_type = self._ref_type_ref()
+        value = self._ref(block, Plane.of_type(source_type))
+        return ir.Upcast(target, value)
+
+    def _op_downcast(self, block: Block) -> Instr:
+        target = self._read_plane()
+        source = self._read_plane()
+        if target.kind not in ("ref", "safe") \
+                or source.kind not in ("ref", "safe"):
+            raise DecodeError("downcast between non-reference planes")
+        if source.kind == "ref" and target.kind == "safe":
+            raise DecodeError("downcast cannot make a value safe")
+        if not self.world.is_subtype(source.type, target.type):
+            raise DecodeError(f"downcast {source} -> {target} is not a "
+                              "widening")
+        value = self._ref(block, source)
+        return ir.Downcast(target, value)
+
+    def _field_access(self, block: Block, static: bool):
+        base = self._class_ref()
+        field_table = self.table.field_table(base)
+        if not field_table:
+            raise DecodeError(f"{base.name} has no fields")
+        field = field_table[self.reader.read_bounded(len(field_table))]
+        if field.is_static != static:
+            raise DecodeError("static/instance field mismatch")
+        obj = None
+        if not static:
+            obj = self._ref(block, Plane.safe(base.type))
+        return base, field, obj
+
+    def _op_getfield(self, block: Block) -> Instr:
+        base, field, obj = self._field_access(block, static=False)
+        return ir.GetField(base, obj, field)
+
+    def _op_setfield(self, block: Block) -> Instr:
+        base, field, obj = self._field_access(block, static=False)
+        value = self._ref(block, Plane.of_type(field.type))
+        return ir.SetField(base, obj, field, value)
+
+    def _op_getstatic(self, block: Block) -> Instr:
+        _base, field, _obj = self._field_access(block, static=True)
+        return ir.GetStatic(field)
+
+    def _op_setstatic(self, block: Block) -> Instr:
+        _base, field, _obj = self._field_access(block, static=True)
+        if field.is_final and field.declaring.is_builtin:
+            raise DecodeError("write to a final library field")
+        value = self._ref(block, Plane.of_type(field.type))
+        return ir.SetStatic(field, value)
+
+    def _op_getelt(self, block: Block) -> Instr:
+        array_type = self._array_ref()
+        array = self._ref(block, Plane.safe(array_type))
+        index = self._ref(block, Plane.safe_index(array))
+        return ir.GetElt(array_type, array, index)
+
+    def _op_setelt(self, block: Block) -> Instr:
+        array_type = self._array_ref()
+        array = self._ref(block, Plane.safe(array_type))
+        index = self._ref(block, Plane.safe_index(array))
+        value = self._ref(block, Plane.of_type(array_type.element))
+        return ir.SetElt(array_type, array, index, value)
+
+    def _op_arraylen(self, block: Block) -> Instr:
+        array_type = self._array_ref()
+        array = self._ref(block, Plane.safe(array_type))
+        return ir.ArrayLen(array_type, array)
+
+    def _op_new(self, block: Block) -> Instr:
+        info = self._class_ref()
+        if info.is_abstract:
+            raise DecodeError(f"new of abstract class {info.name}")
+        return ir.New(info)
+
+    def _op_newarray(self, block: Block) -> Instr:
+        array_type = self._array_ref()
+        length = self._ref(block, Plane.of_type(INT))
+        return ir.NewArray(array_type, length)
+
+    def _op_instanceof(self, block: Block) -> Instr:
+        target = self._ref_type_ref()
+        source_type = self._ref_type_ref()
+        value = self._ref(block, Plane.of_type(source_type))
+        return ir.InstanceOf(target, value)
+
+    def _decode_call(self, block: Block, dispatch: bool) -> Instr:
+        base = self._class_ref()
+        method_table = self.table.method_table(base)
+        if not method_table:
+            raise DecodeError(f"{base.name} has no methods")
+        method = method_table[self.reader.read_bounded(len(method_table))]
+        if dispatch and method.is_static:
+            raise DecodeError("xdispatch of a static method")
+        operands: list[Instr] = []
+        if not method.is_static:
+            operands.append(self._ref(block, Plane.safe(base.type)))
+        for param in method.param_types:
+            operands.append(self._ref(block, Plane.of_type(param)))
+        return ir.Call(base, method, operands, dispatch)
+
+    def _op_xcall(self, block: Block) -> Instr:
+        return self._decode_call(block, dispatch=False)
+
+    def _op_xdispatch(self, block: Block) -> Instr:
+        return self._decode_call(block, dispatch=True)
+
+    def _op_caughtexc(self, block: Block) -> Instr:
+        return ir.CaughtExc()
+
+    # -- phase 3 -----------------------------------------------------------
+
+    def _decode_phi_operands(self, block: Block) -> None:
+        for phi in block.phis:
+            for pred, _kind in block.preds:
+                defined = len(self.planes.get(pred.id, {})
+                              .get(phi.plane, ()))
+                operand = self._resolve_ref(pred, phi.plane, defined)
+                phi.add_operand(operand)
+
+
+def decode_module(data: bytes) -> Module:
+    """Decode (and thereby validate) a SafeTSA distribution unit."""
+    from repro.typesys.table import TypeTableError
+    from repro.typesys.world import WorldError
+    try:
+        return _ModuleDecoder(data).decode()
+    except (BitIOError, WorldError, TypeTableError, ValueError) as error:
+        raise DecodeError(str(error)) from None

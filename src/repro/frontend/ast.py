@@ -1,0 +1,541 @@
+"""Abstract syntax tree produced by the parser and annotated by semantics.
+
+Every expression node gains a ``type`` attribute during semantic analysis;
+name-shaped nodes are resolved into the variants the UAST builder consumes
+(``LocalRead``, ``FieldRead``, ...).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.frontend.errors import SourcePosition
+from repro.typesys.types import Type
+
+
+class Node:
+    """Base class of all AST nodes."""
+
+    __slots__ = ("pos",)
+
+    def __init__(self, pos: Optional[SourcePosition] = None):
+        self.pos = pos
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<{type(self).__name__}>"
+
+
+# ----------------------------------------------------------------------
+# type references (syntactic; resolved to repro.typesys Types by semantics)
+
+class TypeRef(Node):
+    __slots__ = ()
+
+
+class PrimTypeRef(TypeRef):
+    __slots__ = ("name",)
+
+    def __init__(self, name: str, pos=None):
+        super().__init__(pos)
+        self.name = name
+
+
+class NamedTypeRef(TypeRef):
+    __slots__ = ("name",)
+
+    def __init__(self, name: str, pos=None):
+        super().__init__(pos)
+        self.name = name
+
+
+class ArrayTypeRef(TypeRef):
+    __slots__ = ("element",)
+
+    def __init__(self, element: TypeRef, pos=None):
+        super().__init__(pos)
+        self.element = element
+
+
+# ----------------------------------------------------------------------
+# declarations
+
+class CompilationUnit(Node):
+    __slots__ = ("classes", "package")
+
+    def __init__(self, classes: list["ClassDecl"], package: Optional[str] = None):
+        super().__init__(None)
+        self.classes = classes
+        self.package = package
+
+
+class ClassDecl(Node):
+    __slots__ = ("name", "super_name", "members", "is_abstract", "info")
+
+    def __init__(self, name: str, super_name: Optional[str],
+                 members: list[Node], is_abstract: bool = False, pos=None):
+        super().__init__(pos)
+        self.name = name
+        self.super_name = super_name
+        self.members = members
+        self.is_abstract = is_abstract
+        self.info = None  # ClassInfo, filled by semantics
+
+
+class FieldDecl(Node):
+    __slots__ = ("type_ref", "name", "init", "is_static", "is_final", "field")
+
+    def __init__(self, type_ref: TypeRef, name: str, init: Optional["Expr"],
+                 is_static: bool, is_final: bool, pos=None):
+        super().__init__(pos)
+        self.type_ref = type_ref
+        self.name = name
+        self.init = init
+        self.is_static = is_static
+        self.is_final = is_final
+        self.field = None  # FieldInfo
+
+
+class Param(Node):
+    __slots__ = ("type_ref", "name", "local")
+
+    def __init__(self, type_ref: TypeRef, name: str, pos=None):
+        super().__init__(pos)
+        self.type_ref = type_ref
+        self.name = name
+        self.local = None  # LocalVar
+
+
+class MethodDecl(Node):
+    __slots__ = ("name", "params", "return_ref", "body", "is_static",
+                 "is_abstract", "is_constructor", "throws", "method")
+
+    def __init__(self, name: str, params: list[Param],
+                 return_ref: Optional[TypeRef], body: Optional["Block"],
+                 is_static: bool, is_abstract: bool, is_constructor: bool,
+                 throws: list[str], pos=None):
+        super().__init__(pos)
+        self.name = name
+        self.params = params
+        self.return_ref = return_ref
+        self.body = body
+        self.is_static = is_static
+        self.is_abstract = is_abstract
+        self.is_constructor = is_constructor
+        self.throws = throws
+        self.method = None  # MethodInfo
+
+
+# ----------------------------------------------------------------------
+# statements
+
+class Stmt(Node):
+    __slots__ = ()
+
+
+class Block(Stmt):
+    __slots__ = ("stmts",)
+
+    def __init__(self, stmts: list[Stmt], pos=None):
+        super().__init__(pos)
+        self.stmts = stmts
+
+
+class LocalVarDecl(Stmt):
+    __slots__ = ("type_ref", "declarators")
+
+    def __init__(self, type_ref: TypeRef,
+                 declarators: list[tuple[str, Optional["Expr"]]], pos=None):
+        super().__init__(pos)
+        self.type_ref = type_ref
+        #: after semantics each entry is (LocalVar, init-expr-or-None)
+        self.declarators = declarators
+
+
+class ExprStmt(Stmt):
+    __slots__ = ("expr",)
+
+    def __init__(self, expr: "Expr", pos=None):
+        super().__init__(pos)
+        self.expr = expr
+
+
+class IfStmt(Stmt):
+    __slots__ = ("cond", "then_stmt", "else_stmt")
+
+    def __init__(self, cond: "Expr", then_stmt: Stmt,
+                 else_stmt: Optional[Stmt], pos=None):
+        super().__init__(pos)
+        self.cond = cond
+        self.then_stmt = then_stmt
+        self.else_stmt = else_stmt
+
+
+class WhileStmt(Stmt):
+    __slots__ = ("cond", "body")
+
+    def __init__(self, cond: "Expr", body: Stmt, pos=None):
+        super().__init__(pos)
+        self.cond = cond
+        self.body = body
+
+
+class DoWhileStmt(Stmt):
+    __slots__ = ("body", "cond")
+
+    def __init__(self, body: Stmt, cond: "Expr", pos=None):
+        super().__init__(pos)
+        self.body = body
+        self.cond = cond
+
+
+class ForStmt(Stmt):
+    __slots__ = ("init", "cond", "update", "body")
+
+    def __init__(self, init: list[Stmt], cond: Optional["Expr"],
+                 update: list["Expr"], body: Stmt, pos=None):
+        super().__init__(pos)
+        self.init = init
+        self.cond = cond
+        self.update = update
+        self.body = body
+
+
+class BreakStmt(Stmt):
+    __slots__ = ("label",)
+
+    def __init__(self, label: Optional[str], pos=None):
+        super().__init__(pos)
+        self.label = label
+
+
+class ContinueStmt(Stmt):
+    __slots__ = ("label",)
+
+    def __init__(self, label: Optional[str], pos=None):
+        super().__init__(pos)
+        self.label = label
+
+
+class ReturnStmt(Stmt):
+    __slots__ = ("expr",)
+
+    def __init__(self, expr: Optional["Expr"], pos=None):
+        super().__init__(pos)
+        self.expr = expr
+
+
+class ThrowStmt(Stmt):
+    __slots__ = ("expr",)
+
+    def __init__(self, expr: "Expr", pos=None):
+        super().__init__(pos)
+        self.expr = expr
+
+
+class CatchClause(Node):
+    __slots__ = ("type_ref", "name", "body", "local", "catch_type")
+
+    def __init__(self, type_ref: TypeRef, name: str, body: Block, pos=None):
+        super().__init__(pos)
+        self.type_ref = type_ref
+        self.name = name
+        self.body = body
+        self.local = None       # LocalVar
+        self.catch_type = None  # ClassType
+
+
+class TryStmt(Stmt):
+    __slots__ = ("body", "catches", "finally_block")
+
+    def __init__(self, body: Block, catches: list[CatchClause],
+                 finally_block: Optional[Block], pos=None):
+        super().__init__(pos)
+        self.body = body
+        self.catches = catches
+        self.finally_block = finally_block
+
+
+class SwitchCase(Node):
+    __slots__ = ("labels", "is_default", "stmts")
+
+    def __init__(self, labels: list["Expr"], is_default: bool,
+                 stmts: list[Stmt], pos=None):
+        super().__init__(pos)
+        self.labels = labels
+        self.is_default = is_default
+        self.stmts = stmts
+
+
+class SwitchStmt(Stmt):
+    __slots__ = ("selector", "cases")
+
+    def __init__(self, selector: "Expr", cases: list[SwitchCase], pos=None):
+        super().__init__(pos)
+        self.selector = selector
+        self.cases = cases
+
+
+class LabeledStmt(Stmt):
+    __slots__ = ("label", "stmt")
+
+    def __init__(self, label: str, stmt: Stmt, pos=None):
+        super().__init__(pos)
+        self.label = label
+        self.stmt = stmt
+
+
+class EmptyStmt(Stmt):
+    __slots__ = ()
+
+
+# ----------------------------------------------------------------------
+# expressions
+
+class Expr(Node):
+    __slots__ = ("type",)
+
+    def __init__(self, pos=None):
+        super().__init__(pos)
+        self.type: Optional[Type] = None
+
+
+class Literal(Expr):
+    """kind: 'int' | 'long' | 'float' | 'double' | 'char' | 'string'
+    | 'boolean' | 'null'"""
+
+    __slots__ = ("kind", "value")
+
+    def __init__(self, kind: str, value: object, pos=None):
+        super().__init__(pos)
+        self.kind = kind
+        self.value = value
+
+
+class Name(Expr):
+    """An unresolved simple name (resolved by semantics)."""
+
+    __slots__ = ("ident",)
+
+    def __init__(self, ident: str, pos=None):
+        super().__init__(pos)
+        self.ident = ident
+
+
+class LocalRead(Expr):
+    __slots__ = ("local",)
+
+    def __init__(self, local, pos=None):
+        super().__init__(pos)
+        self.local = local
+
+
+class FieldAccess(Expr):
+    """``target.name`` with an expression target (resolved: field set)."""
+
+    __slots__ = ("target", "name", "field", "static_class")
+
+    def __init__(self, target: Optional[Expr], name: str, pos=None):
+        super().__init__(pos)
+        self.target = target
+        self.name = name
+        self.field = None        # FieldInfo after resolution
+        self.static_class = None  # ClassInfo when a static access
+
+
+class ArrayLength(Expr):
+    __slots__ = ("target",)
+
+    def __init__(self, target: Expr, pos=None):
+        super().__init__(pos)
+        self.target = target
+
+
+class ArrayAccess(Expr):
+    __slots__ = ("array", "index")
+
+    def __init__(self, array: Expr, index: Expr, pos=None):
+        super().__init__(pos)
+        self.array = array
+        self.index = index
+
+
+class Call(Expr):
+    """``target.name(args)``; ``target`` may be None (implicit this/static),
+    an expression, a resolved class (static call) or 'super'."""
+
+    __slots__ = ("target", "name", "args", "method", "static_class",
+                 "is_super")
+
+    def __init__(self, target: Optional[Expr], name: str, args: list[Expr],
+                 is_super: bool = False, pos=None):
+        super().__init__(pos)
+        self.target = target
+        self.name = name
+        self.args = args
+        self.method = None        # MethodInfo after overload resolution
+        self.static_class = None  # ClassInfo for static calls
+        self.is_super = is_super
+
+
+class CtorCall(Expr):
+    """Explicit ``this(...)`` or ``super(...)`` constructor invocation."""
+
+    __slots__ = ("is_super", "args", "method")
+
+    def __init__(self, is_super: bool, args: list[Expr], pos=None):
+        super().__init__(pos)
+        self.is_super = is_super
+        self.args = args
+        self.method = None
+
+
+class New(Expr):
+    __slots__ = ("type_ref", "args", "method", "class_info")
+
+    def __init__(self, type_ref: TypeRef, args: list[Expr], pos=None):
+        super().__init__(pos)
+        self.type_ref = type_ref
+        self.args = args
+        self.method = None      # constructor MethodInfo
+        self.class_info = None  # ClassInfo
+
+
+class NewArray(Expr):
+    """``new elem[d0][d1]...[]*`` -- ``dims`` are the sized dimensions."""
+
+    __slots__ = ("elem_ref", "dims", "extra_dims")
+
+    def __init__(self, elem_ref: TypeRef, dims: list[Expr], extra_dims: int,
+                 pos=None):
+        super().__init__(pos)
+        self.elem_ref = elem_ref
+        self.dims = dims
+        self.extra_dims = extra_dims
+
+
+class Unary(Expr):
+    """op in '-', '!', '~', '+'"""
+
+    __slots__ = ("op", "operand", "operation")
+
+    def __init__(self, op: str, operand: Expr, pos=None):
+        super().__init__(pos)
+        self.op = op
+        self.operand = operand
+        self.operation = None
+
+
+class IncDec(Expr):
+    """Pre/post increment/decrement: ``op`` is '++' or '--'."""
+
+    __slots__ = ("op", "target", "is_prefix", "operation")
+
+    def __init__(self, op: str, target: Expr, is_prefix: bool, pos=None):
+        super().__init__(pos)
+        self.op = op
+        self.target = target
+        self.is_prefix = is_prefix
+        self.operation = None
+
+
+class Binary(Expr):
+    __slots__ = ("op", "left", "right", "operation", "is_string_concat",
+                 "is_ref_compare", "compare_type")
+
+    def __init__(self, op: str, left: Expr, right: Expr, pos=None):
+        super().__init__(pos)
+        self.op = op
+        self.left = left
+        self.right = right
+        self.operation = None        # Operation for primitive ops
+        self.is_string_concat = False
+        self.is_ref_compare = False
+        self.compare_type = None     # common supertype for ref ==/!=
+
+
+class Assign(Expr):
+    """``target op value`` where op is '=', '+=', '-=' etc."""
+
+    __slots__ = ("target", "op", "value", "operation", "is_string_concat",
+                 "narrowing_ops")
+
+    def __init__(self, target: Expr, op: str, value: Expr, pos=None):
+        super().__init__(pos)
+        self.target = target
+        self.op = op
+        self.value = value
+        self.operation = None         # Operation for compound assignments
+        self.is_string_concat = False
+        self.narrowing_ops = []       # implicit narrowing back to the target
+
+
+class Ternary(Expr):
+    __slots__ = ("cond", "then_expr", "else_expr")
+
+    def __init__(self, cond: Expr, then_expr: Expr, else_expr: Expr, pos=None):
+        super().__init__(pos)
+        self.cond = cond
+        self.then_expr = then_expr
+        self.else_expr = else_expr
+
+
+class Cast(Expr):
+    __slots__ = ("type_ref", "operand", "target_type", "cast_kind",
+                 "convert_ops")
+
+    def __init__(self, type_ref: TypeRef, operand: Expr, pos=None):
+        super().__init__(pos)
+        self.type_ref = type_ref
+        self.operand = operand
+        self.target_type = None
+        #: 'identity' | 'numeric' | 'widen_ref' | 'checked'
+        self.cast_kind = None
+        self.convert_ops = []
+
+
+class Convert(Expr):
+    """Synthetic implicit conversion inserted by semantic analysis."""
+
+    __slots__ = ("operand", "ops")
+
+    def __init__(self, operand: Expr, to: Type, ops=None):
+        super().__init__(operand.pos)
+        self.operand = operand
+        self.type = to
+        self.ops = ops or []
+
+
+class InstanceOf(Expr):
+    __slots__ = ("operand", "type_ref", "target_type")
+
+    def __init__(self, operand: Expr, type_ref: TypeRef, pos=None):
+        super().__init__(pos)
+        self.operand = operand
+        self.type_ref = type_ref
+        self.target_type = None
+
+
+class This(Expr):
+    __slots__ = ()
+
+
+class LocalVar:
+    """A declared local variable or parameter (semantic object, not a node)."""
+
+    __slots__ = ("name", "type", "index", "is_param", "is_synthetic",
+                 "is_this")
+
+    def __init__(self, name: str, type: Type, index: int,
+                 is_param: bool = False, is_synthetic: bool = False,
+                 is_this: bool = False):
+        self.name = name
+        self.type = type
+        self.index = index
+        self.is_param = is_param
+        self.is_synthetic = is_synthetic
+        #: the receiver pseudo-variable: read-only and intrinsically
+        #: non-null, so it lives on the safe-ref plane
+        self.is_this = is_this
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<local {self.name}: {self.type}>"

@@ -1,0 +1,35 @@
+"""Diagnostics for the MiniJava++ front-end."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+
+class SourcePosition:
+    """A (line, column) position within a source file."""
+
+    __slots__ = ("line", "column")
+
+    def __init__(self, line: int, column: int):
+        self.line = line
+        self.column = column
+
+    def __str__(self) -> str:
+        return f"{self.line}:{self.column}"
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"SourcePosition({self.line}, {self.column})"
+
+    def __eq__(self, other: object) -> bool:
+        return (isinstance(other, SourcePosition)
+                and other.line == self.line and other.column == self.column)
+
+
+class CompileError(Exception):
+    """A diagnosed error in the source program (lexical, syntactic or semantic)."""
+
+    def __init__(self, message: str, pos: Optional[SourcePosition] = None):
+        self.message = message
+        self.pos = pos
+        where = f" at {pos}" if pos else ""
+        super().__init__(f"{message}{where}")

@@ -1,0 +1,639 @@
+"""Recursive-descent parser for MiniJava++."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.frontend import ast
+from repro.frontend.errors import CompileError
+from repro.frontend.lexer import Token, tokenize
+
+_PRIM_TYPE_NAMES = ("int", "long", "float", "double", "boolean", "char")
+
+#: binary operator precedence, higher binds tighter
+_BINARY_PRECEDENCE = {
+    "||": 1,
+    "&&": 2,
+    "|": 3,
+    "^": 4,
+    "&": 5,
+    "==": 6, "!=": 6,
+    "<": 7, ">": 7, "<=": 7, ">=": 7, "instanceof": 7,
+    "<<": 8, ">>": 8, ">>>": 8,
+    "+": 9, "-": 9,
+    "*": 10, "/": 10, "%": 10,
+}
+
+_ASSIGN_OPS = ("=", "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=",
+               "<<=", ">>=", ">>>=")
+
+
+class Parser:
+    """Parses a token stream into an AST :class:`~repro.frontend.ast.CompilationUnit`."""
+
+    def __init__(self, tokens: list[Token]):
+        self.tokens = tokens
+        self.index = 0
+
+    # ------------------------------------------------------------------
+    # token helpers
+
+    def _peek(self, offset: int = 0) -> Token:
+        index = min(self.index + offset, len(self.tokens) - 1)
+        return self.tokens[index]
+
+    def _advance(self) -> Token:
+        token = self.tokens[self.index]
+        if token.kind != "eof":
+            self.index += 1
+        return token
+
+    def _check(self, kind: str, text: Optional[str] = None,
+               offset: int = 0) -> bool:
+        token = self._peek(offset)
+        return token.kind == kind and (text is None or token.text == text)
+
+    def _match(self, kind: str, text: Optional[str] = None) -> Optional[Token]:
+        if self._check(kind, text):
+            return self._advance()
+        return None
+
+    def _expect(self, kind: str, text: Optional[str] = None) -> Token:
+        token = self._peek()
+        if not self._check(kind, text):
+            want = text or kind
+            raise CompileError(
+                f"expected {want!r} but found {token.text or token.kind!r}",
+                token.pos)
+        return self._advance()
+
+    def _expect_op(self, text: str) -> Token:
+        return self._expect("op", text)
+
+    def _expect_kw(self, text: str) -> Token:
+        return self._expect("keyword", text)
+
+    # ------------------------------------------------------------------
+    # declarations
+
+    def parse_compilation_unit(self) -> ast.CompilationUnit:
+        package = None
+        if self._match("keyword", "package"):
+            package = self._qualified_name()
+            self._expect_op(";")
+        while self._match("keyword", "import"):
+            self._qualified_name()  # imports are accepted and ignored
+            self._expect_op(";")
+        classes = []
+        while not self._check("eof"):
+            classes.append(self.parse_class())
+        return ast.CompilationUnit(classes, package)
+
+    def _qualified_name(self) -> str:
+        parts = [self._expect("ident").text]
+        while self._check("op", "."):
+            if self._peek(1).kind == "ident":
+                self._advance()
+                parts.append(self._expect("ident").text)
+            elif self._check("op", "*", 1):
+                self._advance()
+                self._advance()
+                parts.append("*")
+                break
+            else:
+                break
+        return ".".join(parts)
+
+    def _modifiers(self) -> set[str]:
+        mods: set[str] = set()
+        while self._peek().kind == "keyword" and self._peek().text in (
+                "public", "private", "protected", "static", "final",
+                "abstract"):
+            mods.add(self._advance().text)
+        return mods
+
+    def parse_class(self) -> ast.ClassDecl:
+        mods = self._modifiers()
+        pos = self._expect_kw("class").pos
+        name = self._expect("ident").text
+        super_name = None
+        if self._match("keyword", "extends"):
+            super_name = self._expect("ident").text
+        self._expect_op("{")
+        members: list[ast.Node] = []
+        while not self._check("op", "}"):
+            members.append(self._parse_member(name))
+        self._expect_op("}")
+        return ast.ClassDecl(name, super_name, members,
+                             is_abstract="abstract" in mods, pos=pos)
+
+    def _parse_member(self, class_name: str) -> ast.Node:
+        mods = self._modifiers()
+        pos = self._peek().pos
+        # constructor: ClassName (
+        if (self._check("ident", class_name) and self._check("op", "(", 1)):
+            name = self._advance().text
+            params = self._parse_params()
+            throws = self._parse_throws()
+            body = self.parse_block()
+            return ast.MethodDecl("<init>", params, None, body,
+                                  is_static=False, is_abstract=False,
+                                  is_constructor=True, throws=throws, pos=pos)
+        if self._check("keyword", "void"):
+            self._advance()
+            return_ref: Optional[ast.TypeRef] = None
+            return self._finish_method(return_ref, mods, pos)
+        type_ref = self._parse_type_ref()
+        name_token = self._expect("ident")
+        if self._check("op", "("):
+            self.index -= 1  # push the name back for _finish_method
+            return self._finish_method(type_ref, mods, pos)
+        # field declaration(s); only a single declarator per field for clarity
+        init = None
+        if self._match("op", "="):
+            init = self.parse_expression()
+        decl = ast.FieldDecl(type_ref, name_token.text, init,
+                             is_static="static" in mods,
+                             is_final="final" in mods, pos=pos)
+        self._expect_op(";")
+        return decl
+
+    def _finish_method(self, return_ref: Optional[ast.TypeRef],
+                       mods: set[str], pos) -> ast.MethodDecl:
+        name = self._expect("ident").text
+        params = self._parse_params()
+        throws = self._parse_throws()
+        if "abstract" in mods:
+            self._expect_op(";")
+            body = None
+        else:
+            body = self.parse_block()
+        return ast.MethodDecl(name, params, return_ref, body,
+                              is_static="static" in mods,
+                              is_abstract="abstract" in mods,
+                              is_constructor=False, throws=throws, pos=pos)
+
+    def _parse_params(self) -> list[ast.Param]:
+        self._expect_op("(")
+        params: list[ast.Param] = []
+        if not self._check("op", ")"):
+            while True:
+                pos = self._peek().pos
+                type_ref = self._parse_type_ref()
+                name = self._expect("ident").text
+                # trailing [] after the name (C-style arrays)
+                while self._match("op", "["):
+                    self._expect_op("]")
+                    type_ref = ast.ArrayTypeRef(type_ref, pos)
+                params.append(ast.Param(type_ref, name, pos))
+                if not self._match("op", ","):
+                    break
+        self._expect_op(")")
+        return params
+
+    def _parse_throws(self) -> list[str]:
+        throws: list[str] = []
+        if self._match("keyword", "throws"):
+            while True:
+                throws.append(self._expect("ident").text)
+                if not self._match("op", ","):
+                    break
+        return throws
+
+    def _parse_type_ref(self) -> ast.TypeRef:
+        token = self._peek()
+        if token.kind == "keyword" and token.text in _PRIM_TYPE_NAMES:
+            self._advance()
+            ref: ast.TypeRef = ast.PrimTypeRef(token.text, token.pos)
+        elif token.kind == "ident":
+            self._advance()
+            ref = ast.NamedTypeRef(token.text, token.pos)
+        else:
+            raise CompileError(f"expected a type, found {token.text!r}",
+                               token.pos)
+        while self._check("op", "[") and self._check("op", "]", 1):
+            self._advance()
+            self._advance()
+            ref = ast.ArrayTypeRef(ref, token.pos)
+        return ref
+
+    # ------------------------------------------------------------------
+    # statements
+
+    def parse_block(self) -> ast.Block:
+        pos = self._expect_op("{").pos
+        stmts: list[ast.Stmt] = []
+        while not self._check("op", "}"):
+            stmts.append(self.parse_statement())
+        self._expect_op("}")
+        return ast.Block(stmts, pos)
+
+    def parse_statement(self) -> ast.Stmt:
+        token = self._peek()
+        if token.kind == "op":
+            if token.text == "{":
+                return self.parse_block()
+            if token.text == ";":
+                self._advance()
+                return ast.EmptyStmt(token.pos)
+        if token.kind == "keyword":
+            handler = {
+                "if": self._parse_if,
+                "while": self._parse_while,
+                "do": self._parse_do_while,
+                "for": self._parse_for,
+                "return": self._parse_return,
+                "break": self._parse_break,
+                "continue": self._parse_continue,
+                "throw": self._parse_throw,
+                "try": self._parse_try,
+                "switch": self._parse_switch,
+            }.get(token.text)
+            if handler is not None:
+                return handler()
+            if token.text in _PRIM_TYPE_NAMES or token.text == "final":
+                return self._parse_local_decl()
+        # labeled statement: ident ':'
+        if token.kind == "ident" and self._check("op", ":", 1):
+            label = self._advance().text
+            self._advance()
+            return ast.LabeledStmt(label, self.parse_statement(), token.pos)
+        if token.kind == "ident" and self._looks_like_decl():
+            return self._parse_local_decl()
+        expr = self.parse_expression()
+        self._expect_op(";")
+        return ast.ExprStmt(expr, token.pos)
+
+    def _looks_like_decl(self) -> bool:
+        """Heuristic: ``Ident Ident`` or ``Ident[] ...`` starts a declaration."""
+        if self._check("op", "[", 1) and self._check("op", "]", 2):
+            return True
+        return self._peek(1).kind == "ident"
+
+    def _parse_local_decl(self) -> ast.LocalVarDecl:
+        pos = self._peek().pos
+        self._match("keyword", "final")
+        type_ref = self._parse_type_ref()
+        declarators: list[tuple[str, Optional[ast.Expr]]] = []
+        while True:
+            name = self._expect("ident").text
+            if self._check("op", "["):
+                raise CompileError(
+                    "C-style array declarators are not supported for locals; "
+                    "write the [] on the type", self._peek().pos)
+            init = None
+            if self._match("op", "="):
+                init = self.parse_expression()
+            declarators.append((name, init))
+            if not self._match("op", ","):
+                break
+        self._expect_op(";")
+        return ast.LocalVarDecl(type_ref, declarators, pos)
+
+    def _parse_if(self) -> ast.Stmt:
+        pos = self._expect_kw("if").pos
+        self._expect_op("(")
+        cond = self.parse_expression()
+        self._expect_op(")")
+        then_stmt = self.parse_statement()
+        else_stmt = None
+        if self._match("keyword", "else"):
+            else_stmt = self.parse_statement()
+        return ast.IfStmt(cond, then_stmt, else_stmt, pos)
+
+    def _parse_while(self) -> ast.Stmt:
+        pos = self._expect_kw("while").pos
+        self._expect_op("(")
+        cond = self.parse_expression()
+        self._expect_op(")")
+        body = self.parse_statement()
+        return ast.WhileStmt(cond, body, pos)
+
+    def _parse_do_while(self) -> ast.Stmt:
+        pos = self._expect_kw("do").pos
+        body = self.parse_statement()
+        self._expect_kw("while")
+        self._expect_op("(")
+        cond = self.parse_expression()
+        self._expect_op(")")
+        self._expect_op(";")
+        return ast.DoWhileStmt(body, cond, pos)
+
+    def _parse_for(self) -> ast.Stmt:
+        pos = self._expect_kw("for").pos
+        self._expect_op("(")
+        init: list[ast.Stmt] = []
+        if not self._check("op", ";"):
+            token = self._peek()
+            starts_decl = (
+                (token.kind == "keyword"
+                 and (token.text in _PRIM_TYPE_NAMES or token.text == "final"))
+                or (token.kind == "ident" and self._looks_like_decl()))
+            if starts_decl:
+                init.append(self._parse_local_decl())
+            else:
+                init.append(ast.ExprStmt(self.parse_expression(), token.pos))
+                while self._match("op", ","):
+                    init.append(ast.ExprStmt(self.parse_expression(), token.pos))
+                self._expect_op(";")
+        else:
+            self._advance()
+        cond = None
+        if not self._check("op", ";"):
+            cond = self.parse_expression()
+        self._expect_op(";")
+        update: list[ast.Expr] = []
+        if not self._check("op", ")"):
+            update.append(self.parse_expression())
+            while self._match("op", ","):
+                update.append(self.parse_expression())
+        self._expect_op(")")
+        body = self.parse_statement()
+        return ast.ForStmt(init, cond, update, body, pos)
+
+    def _parse_return(self) -> ast.Stmt:
+        pos = self._expect_kw("return").pos
+        expr = None
+        if not self._check("op", ";"):
+            expr = self.parse_expression()
+        self._expect_op(";")
+        return ast.ReturnStmt(expr, pos)
+
+    def _parse_break(self) -> ast.Stmt:
+        pos = self._expect_kw("break").pos
+        label = None
+        if self._check("ident"):
+            label = self._advance().text
+        self._expect_op(";")
+        return ast.BreakStmt(label, pos)
+
+    def _parse_continue(self) -> ast.Stmt:
+        pos = self._expect_kw("continue").pos
+        label = None
+        if self._check("ident"):
+            label = self._advance().text
+        self._expect_op(";")
+        return ast.ContinueStmt(label, pos)
+
+    def _parse_throw(self) -> ast.Stmt:
+        pos = self._expect_kw("throw").pos
+        expr = self.parse_expression()
+        self._expect_op(";")
+        return ast.ThrowStmt(expr, pos)
+
+    def _parse_try(self) -> ast.Stmt:
+        pos = self._expect_kw("try").pos
+        body = self.parse_block()
+        catches: list[ast.CatchClause] = []
+        while self._check("keyword", "catch"):
+            catch_pos = self._advance().pos
+            self._expect_op("(")
+            type_ref = self._parse_type_ref()
+            name = self._expect("ident").text
+            self._expect_op(")")
+            catches.append(
+                ast.CatchClause(type_ref, name, self.parse_block(), catch_pos))
+        finally_block = None
+        if self._match("keyword", "finally"):
+            finally_block = self.parse_block()
+        if not catches and finally_block is None:
+            raise CompileError("try without catch or finally", pos)
+        return ast.TryStmt(body, catches, finally_block, pos)
+
+    def _parse_switch(self) -> ast.Stmt:
+        pos = self._expect_kw("switch").pos
+        self._expect_op("(")
+        selector = self.parse_expression()
+        self._expect_op(")")
+        self._expect_op("{")
+        cases: list[ast.SwitchCase] = []
+        while not self._check("op", "}"):
+            case_pos = self._peek().pos
+            labels: list[ast.Expr] = []
+            is_default = False
+            while True:
+                if self._match("keyword", "case"):
+                    labels.append(self.parse_expression())
+                    self._expect_op(":")
+                elif self._match("keyword", "default"):
+                    is_default = True
+                    self._expect_op(":")
+                else:
+                    break
+            if not labels and not is_default:
+                raise CompileError("expected 'case' or 'default'",
+                                   self._peek().pos)
+            stmts: list[ast.Stmt] = []
+            while not (self._check("op", "}")
+                       or self._check("keyword", "case")
+                       or self._check("keyword", "default")):
+                stmts.append(self.parse_statement())
+            cases.append(ast.SwitchCase(labels, is_default, stmts, case_pos))
+        self._expect_op("}")
+        return ast.SwitchStmt(selector, cases, pos)
+
+    # ------------------------------------------------------------------
+    # expressions
+
+    def parse_expression(self) -> ast.Expr:
+        return self._parse_assignment()
+
+    def _parse_assignment(self) -> ast.Expr:
+        left = self._parse_ternary()
+        token = self._peek()
+        if token.kind == "op" and token.text in _ASSIGN_OPS:
+            self._advance()
+            value = self._parse_assignment()
+            return ast.Assign(left, token.text, value, token.pos)
+        return left
+
+    def _parse_ternary(self) -> ast.Expr:
+        cond = self._parse_binary(1)
+        if self._check("op", "?"):
+            pos = self._advance().pos
+            then_expr = self.parse_expression()
+            self._expect_op(":")
+            else_expr = self._parse_assignment()
+            return ast.Ternary(cond, then_expr, else_expr, pos)
+        return cond
+
+    def _parse_binary(self, min_precedence: int) -> ast.Expr:
+        left = self._parse_unary()
+        while True:
+            token = self._peek()
+            op = token.text if token.kind in ("op", "keyword") else None
+            precedence = _BINARY_PRECEDENCE.get(op or "")
+            if precedence is None or precedence < min_precedence:
+                return left
+            self._advance()
+            if op == "instanceof":
+                type_ref = self._parse_type_ref()
+                left = ast.InstanceOf(left, type_ref, token.pos)
+                continue
+            right = self._parse_binary(precedence + 1)
+            left = ast.Binary(op, left, right, token.pos)
+
+    def _parse_unary(self) -> ast.Expr:
+        token = self._peek()
+        if token.kind == "op" and token.text in ("-", "+", "!", "~"):
+            self._advance()
+            # fold -2147483648 / -9223372036854775808L at parse time
+            if token.text == "-" and self._peek().kind in ("int", "long"):
+                literal = self._advance()
+                return ast.Literal(literal.kind, -literal.value, token.pos)
+            operand = self._parse_unary()
+            return ast.Unary(token.text, operand, token.pos)
+        if token.kind == "op" and token.text in ("++", "--"):
+            self._advance()
+            target = self._parse_unary()
+            return ast.IncDec(token.text, target, True, token.pos)
+        if token.kind == "op" and token.text == "(" and self._is_cast():
+            self._advance()
+            type_ref = self._parse_type_ref()
+            self._expect_op(")")
+            operand = self._parse_unary()
+            return ast.Cast(type_ref, operand, token.pos)
+        return self._parse_postfix()
+
+    def _is_cast(self) -> bool:
+        """Disambiguate ``(T) expr`` casts from parenthesised expressions."""
+        first = self._peek(1)
+        if first.kind == "keyword" and first.text in _PRIM_TYPE_NAMES:
+            return True
+        if first.kind != "ident":
+            return False
+        offset = 2
+        while (self._check("op", "[", offset)
+               and self._check("op", "]", offset + 1)):
+            offset += 2
+        if not self._check("op", ")", offset):
+            return False
+        if offset > 2:
+            return True  # (T[]) is always a cast
+        after = self._peek(offset + 1)
+        # `(Name) X` is a cast when X can start a unary-not-plus-minus expr
+        if after.kind in ("ident", "int", "long", "float", "double", "char",
+                          "string"):
+            return True
+        if after.kind == "keyword" and after.text in (
+                "this", "new", "true", "false", "null", "super"):
+            return True
+        if after.kind == "op" and after.text in ("(", "!", "~"):
+            return True
+        return False
+
+    def _parse_postfix(self) -> ast.Expr:
+        expr = self._parse_primary()
+        while True:
+            token = self._peek()
+            if token.kind == "op" and token.text == ".":
+                self._advance()
+                name = self._expect("ident").text
+                if self._check("op", "("):
+                    args = self._parse_args()
+                    expr = ast.Call(expr, name, args, pos=token.pos)
+                else:
+                    expr = ast.FieldAccess(expr, name, token.pos)
+            elif token.kind == "op" and token.text == "[":
+                self._advance()
+                index = self.parse_expression()
+                self._expect_op("]")
+                expr = ast.ArrayAccess(expr, index, token.pos)
+            elif token.kind == "op" and token.text in ("++", "--"):
+                self._advance()
+                expr = ast.IncDec(token.text, expr, False, token.pos)
+            else:
+                return expr
+
+    def _parse_args(self) -> list[ast.Expr]:
+        self._expect_op("(")
+        args: list[ast.Expr] = []
+        if not self._check("op", ")"):
+            while True:
+                args.append(self.parse_expression())
+                if not self._match("op", ","):
+                    break
+        self._expect_op(")")
+        return args
+
+    def _parse_primary(self) -> ast.Expr:
+        token = self._peek()
+        if token.kind in ("int", "long", "float", "double", "char", "string"):
+            self._advance()
+            return ast.Literal(token.kind, token.value, token.pos)
+        if token.kind == "keyword":
+            if token.text in ("true", "false"):
+                self._advance()
+                return ast.Literal("boolean", token.text == "true", token.pos)
+            if token.text == "null":
+                self._advance()
+                return ast.Literal("null", None, token.pos)
+            if token.text == "this":
+                self._advance()
+                if self._check("op", "("):
+                    args = self._parse_args()
+                    return ast.CtorCall(False, args, token.pos)
+                return ast.This(token.pos)
+            if token.text == "super":
+                self._advance()
+                if self._check("op", "("):
+                    args = self._parse_args()
+                    return ast.CtorCall(True, args, token.pos)
+                self._expect_op(".")
+                name = self._expect("ident").text
+                args = self._parse_args()
+                return ast.Call(None, name, args, is_super=True,
+                                pos=token.pos)
+            if token.text == "new":
+                return self._parse_new()
+        if token.kind == "op" and token.text == "(":
+            self._advance()
+            expr = self.parse_expression()
+            self._expect_op(")")
+            return expr
+        if token.kind == "ident":
+            self._advance()
+            if self._check("op", "("):
+                args = self._parse_args()
+                return ast.Call(None, token.text, args, pos=token.pos)
+            return ast.Name(token.text, token.pos)
+        raise CompileError(f"unexpected token {token.text or token.kind!r}",
+                           token.pos)
+
+    def _parse_new(self) -> ast.Expr:
+        pos = self._expect_kw("new").pos
+        token = self._peek()
+        if token.kind == "keyword" and token.text in _PRIM_TYPE_NAMES:
+            self._advance()
+            elem_ref: ast.TypeRef = ast.PrimTypeRef(token.text, token.pos)
+            return self._parse_new_array(elem_ref, pos)
+        name = self._expect("ident").text
+        if self._check("op", "("):
+            args = self._parse_args()
+            return ast.New(ast.NamedTypeRef(name, pos), args, pos)
+        return self._parse_new_array(ast.NamedTypeRef(name, pos), pos)
+
+    def _parse_new_array(self, elem_ref: ast.TypeRef, pos) -> ast.Expr:
+        dims: list[ast.Expr] = []
+        self._expect_op("[")
+        dims.append(self.parse_expression())
+        self._expect_op("]")
+        extra_dims = 0
+        while self._check("op", "["):
+            if self._check("op", "]", 1):
+                self._advance()
+                self._advance()
+                extra_dims += 1
+            elif extra_dims == 0:
+                self._advance()
+                dims.append(self.parse_expression())
+                self._expect_op("]")
+            else:
+                raise CompileError("cannot size a dimension after []", pos)
+        return ast.NewArray(elem_ref, dims, extra_dims, pos)
+
+
+def parse_compilation_unit(source: str,
+                           filename: str = "<source>") -> ast.CompilationUnit:
+    """Parse ``source`` into an AST."""
+    return Parser(tokenize(source, filename)).parse_compilation_unit()

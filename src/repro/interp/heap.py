@@ -1,0 +1,125 @@
+"""Heap object model shared by both interpreters (SafeTSA and bytecode)."""
+
+from __future__ import annotations
+
+import itertools
+from typing import Optional
+
+from repro.typesys.types import (
+    ArrayType,
+    BOOLEAN,
+    ClassType,
+    PrimitiveType,
+    Type,
+)
+from repro.typesys.world import ClassInfo
+
+_object_counter = itertools.count(1)
+
+
+def default_value(type: Type):
+    """Java zero-initialisation value for a type."""
+    if isinstance(type, PrimitiveType):
+        if type.name in ("double", "float"):
+            return 0.0
+        if type.name == "boolean":
+            return False
+        return 0
+    return None
+
+
+class ObjectRef:
+    """An instance of a user or builtin class."""
+
+    __slots__ = ("class_info", "fields", "serial")
+
+    def __init__(self, class_info: ClassInfo):
+        self.class_info = class_info
+        self.fields = [default_value(f.type)
+                       for f in class_info.all_instance_fields]
+        self.serial = next(_object_counter)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<{self.class_info.name}@{self.serial}>"
+
+
+class ArrayRef:
+    """A Java array instance."""
+
+    __slots__ = ("array_type", "elements", "serial")
+
+    def __init__(self, array_type: ArrayType, length: int):
+        self.array_type = array_type
+        self.elements = [default_value(array_type.element)] * length
+        self.serial = next(_object_counter)
+
+    @property
+    def length(self) -> int:
+        return len(self.elements)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<{self.array_type}[{self.length}]@{self.serial}>"
+
+
+class JStr:
+    """A Java String instance (wrapping a Python str).
+
+    Reference equality must distinguish distinct instances with equal
+    contents, so strings cannot be bare Python str values.  Literals are
+    interned globally (one instance per value), matching Java.
+    """
+
+    __slots__ = ("value", "serial")
+    _interned: dict[str, "JStr"] = {}
+
+    def __init__(self, value: str):
+        self.value = value
+        self.serial = next(_object_counter)
+
+    @classmethod
+    def intern(cls, value: str) -> "JStr":
+        cached = cls._interned.get(value)
+        if cached is None:
+            cached = cls(value)
+            cls._interned[value] = cached
+        return cached
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"JStr({self.value!r})"
+
+
+class JavaError(Exception):
+    """A Java exception in flight; ``value`` is the Throwable instance."""
+
+    def __init__(self, value: ObjectRef):
+        self.value = value
+        super().__init__(value.class_info.name)
+
+
+def runtime_class(world, value) -> Optional[ClassInfo]:
+    """The dynamic class of a runtime value (None for null/primitives)."""
+    if isinstance(value, ObjectRef):
+        return value.class_info
+    if isinstance(value, JStr):
+        return world.require("java.lang.String")
+    if isinstance(value, ArrayRef):
+        return world.require("java.lang.Object")
+    return None
+
+
+def value_instanceof(world, value, target: Type) -> bool:
+    """Java ``instanceof`` on runtime values (null is never an instance)."""
+    if value is None:
+        return False
+    if isinstance(value, ArrayRef):
+        if isinstance(target, ArrayType):
+            if isinstance(value.array_type.element, PrimitiveType) \
+                    or isinstance(target.element, PrimitiveType):
+                return value.array_type == target
+            return world.is_subtype(value.array_type, target)
+        return isinstance(target, ClassType) \
+            and target.name == "java.lang.Object"
+    cls = runtime_class(world, value)
+    if cls is None or not isinstance(target, ClassType):
+        return False
+    return cls.is_subclass_of(world.require(target.name))

@@ -1,0 +1,363 @@
+"""The SafeTSA interpreter: executes :class:`~repro.ssa.ir.Function` bodies.
+
+Execution walks the CFG block by block.  Register state is a per-frame
+mapping from instruction id to value; dominance guarantees every operand
+was computed before its use, so no scoping machinery is needed at
+runtime.  Phi operands are selected by the index of the incoming edge in
+the block's canonical predecessor list -- the same list the wire format's
+phi operand order is defined by.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.interp.heap import (
+    ArrayRef,
+    JavaError,
+    JStr,
+    ObjectRef,
+    value_instanceof,
+)
+from repro.interp.runtime import Runtime
+from repro.ssa import ir
+from repro.ssa.ir import Block, Function, Module
+from repro.typesys.world import MethodInfo
+
+
+class InterpreterError(Exception):
+    """Internal execution failure (invalid module or interpreter bug)."""
+
+
+class StepLimitExceeded(InterpreterError):
+    """The configured execution budget ran out."""
+
+
+class ExecutionResult:
+    """Observable outcome of running an entry point."""
+
+    def __init__(self, value, exception: Optional[ObjectRef], stdout: str,
+                 steps: int):
+        self.value = value
+        self.exception = exception
+        self.stdout = stdout
+        self.steps = steps
+
+    @property
+    def completed(self) -> bool:
+        return self.exception is None
+
+    def exception_name(self) -> Optional[str]:
+        return self.exception.class_info.name if self.exception else None
+
+    def __repr__(self) -> str:  # pragma: no cover
+        if self.exception is not None:
+            return f"<ExecutionResult exception={self.exception_name()}>"
+        return f"<ExecutionResult value={self.value!r}>"
+
+
+class Interpreter:
+    """Executes a SafeTSA module."""
+
+    def __init__(self, module: Module, max_steps: int = 50_000_000):
+        self.module = module
+        self.world = module.world
+        self.runtime = Runtime(module.world)
+        self.runtime.invoke_virtual = self._invoke_virtual_for_runtime
+        self.max_steps = max_steps
+        self.steps = 0
+        self.check_counts = {"nullcheck": 0, "idxcheck": 0, "upcast": 0}
+        self._initialized = False
+
+    # ==================================================================
+    # entry points
+
+    def run_main(self, class_name: Optional[str] = None,
+                 method_name: str = "main") -> ExecutionResult:
+        function = self._find_main(class_name, method_name)
+        args: list = []
+        if function.method.param_types:
+            args = [None]  # String[] args, unused by the corpus
+        return self.run_function(function, args)
+
+    def run_function(self, function: Function, args: list) -> ExecutionResult:
+        self._ensure_initialized()
+        exception: Optional[ObjectRef] = None
+        value = None
+        try:
+            value = self.call(function, args)
+        except JavaError as error:
+            exception = error.value
+        return ExecutionResult(value, exception,
+                               "".join(self.runtime.stdout), self.steps)
+
+    def _find_main(self, class_name: Optional[str],
+                   method_name: str) -> Function:
+        candidates = []
+        for method, function in self.module.functions.items():
+            if method.name != method_name or not method.is_static:
+                continue
+            if class_name is not None and \
+                    method.declaring.name.split(".")[-1] != \
+                    class_name.split(".")[-1]:
+                continue
+            candidates.append(function)
+        if not candidates:
+            raise InterpreterError(
+                f"no static {method_name} method found"
+                + (f" in {class_name}" if class_name else ""))
+        return candidates[0]
+
+    def _ensure_initialized(self) -> None:
+        """Run every <clinit> once, in class declaration order."""
+        if self._initialized:
+            return
+        self._initialized = True
+        for info in self.module.classes:
+            for method in info.methods:
+                if method.name == "<clinit>":
+                    function = self.module.functions.get(method)
+                    if function is not None:
+                        self.call(function, [])
+
+    # ==================================================================
+    # calls
+
+    def call(self, function: Function, args: list):
+        frame: dict[int, object] = {}
+        for param in function.params:
+            frame[param.id] = args[param.index]
+        block = function.entry
+        came_from: Optional[tuple[Block, str]] = None
+        exception: Optional[ObjectRef] = None
+        while True:
+            self.steps += 1
+            if self.steps > self.max_steps:
+                raise StepLimitExceeded(
+                    f"exceeded {self.max_steps} steps in {function.name}")
+            if block.phis:
+                edge = self._edge_index(block, came_from)
+                values = [frame[phi.operands[edge].id] for phi in block.phis]
+                for phi, value in zip(block.phis, values):
+                    frame[phi.id] = value
+            trapped = False
+            for instr in block.instrs:
+                if isinstance(instr, ir.CaughtExc):
+                    frame[instr.id] = exception
+                    continue
+                try:
+                    result = self._execute(instr, frame)
+                except JavaError as error:
+                    target = self._exc_edge_target(block)
+                    if target is None:
+                        raise
+                    exception = error.value
+                    came_from = (block, "exc")
+                    block = target
+                    trapped = True
+                    break
+                if instr.plane is not None:
+                    frame[instr.id] = result
+            if trapped:
+                continue
+            term = block.term
+            if term is None:
+                raise InterpreterError(f"block B{block.id} has no terminator")
+            if term.kind == "return":
+                return frame[term.value.id] if term.value is not None else None
+            if term.kind == "throw":
+                target = self._exc_edge_target(block)
+                if target is None:
+                    raise JavaError(frame[term.value.id])
+                # a throw inside a try body jumps to the dispatch block
+                exception = frame[term.value.id]
+                came_from = (block, "exc")
+                block = target
+                continue
+            if term.kind == "unreachable":
+                raise InterpreterError(
+                    f"reached unreachable terminator in {function.name}")
+            if term.kind == "branch":
+                taken = bool(frame[term.value.id])
+                normal = [s for s, kind in block.succs if kind == "norm"]
+                next_block = normal[0] if taken else normal[1]
+            else:  # fall / break / continue
+                normal = [s for s, kind in block.succs if kind == "norm"]
+                if len(normal) != 1:
+                    raise InterpreterError(
+                        f"B{block.id} ({term.kind}) has {len(normal)} "
+                        "normal successors")
+                next_block = normal[0]
+            came_from = (block, "norm")
+            block = next_block
+
+    @staticmethod
+    def _edge_index(block: Block, came_from) -> int:
+        if came_from is None:
+            raise InterpreterError(f"phis in entry block B{block.id}")
+        source, kind = came_from
+        for index, (pred, pred_kind) in enumerate(block.preds):
+            if pred is source and pred_kind == kind:
+                return index
+        raise InterpreterError(
+            f"edge B{source.id}->B{block.id} not in pred list")
+
+    @staticmethod
+    def _exc_edge_target(block: Block) -> Optional[Block]:
+        for succ, kind in block.succs:
+            if kind == "exc":
+                return succ
+        return None
+
+    # ==================================================================
+    # instruction execution
+
+    def _execute(self, instr: ir.Instr, frame: dict):
+        method = getattr(self, "_exec_" + type(instr).__name__.lower(), None)
+        if method is None:
+            raise InterpreterError(
+                f"cannot execute {type(instr).__name__}")
+        return method(instr, frame)
+
+    def _exec_const(self, instr: ir.Const, frame):
+        if isinstance(instr.value, str):
+            return JStr.intern(instr.value)
+        return instr.value
+
+    def _exec_param(self, instr: ir.Param, frame):
+        return frame[instr.id]
+
+    def _exec_prim(self, instr: ir.Prim, frame):
+        args = [frame[op.id] for op in instr.operands]
+        try:
+            return instr.operation.fold(*args)
+        except ZeroDivisionError:
+            self.runtime.throw("java.lang.ArithmeticException", "/ by zero")
+
+    def _exec_refcmp(self, instr: ir.RefCmp, frame):
+        left = frame[instr.operands[0].id]
+        right = frame[instr.operands[1].id]
+        same = left is right
+        return same if instr.is_eq else not same
+
+    def _exec_nullcheck(self, instr: ir.NullCheck, frame):
+        value = frame[instr.operands[0].id]
+        self.check_counts["nullcheck"] += 1
+        if value is None:
+            self.runtime.throw("java.lang.NullPointerException")
+        return value
+
+    def _exec_idxcheck(self, instr: ir.IdxCheck, frame):
+        array = frame[instr.array.id]
+        index = frame[instr.index.id]
+        self.check_counts["idxcheck"] += 1
+        if not isinstance(array, ArrayRef):
+            raise InterpreterError("idxcheck on non-array")
+        if not 0 <= index < array.length:
+            self.runtime.throw(
+                "java.lang.ArrayIndexOutOfBoundsException",
+                f"Index {index} out of bounds for length {array.length}")
+        return index
+
+    def _exec_upcast(self, instr: ir.Upcast, frame):
+        value = frame[instr.operands[0].id]
+        self.check_counts["upcast"] += 1
+        if value is None:
+            return None  # Java checkcast passes null through
+        if not value_instanceof(self.world, value, instr.target_type):
+            self.runtime.throw("java.lang.ClassCastException",
+                               str(instr.target_type))
+        return value
+
+    def _exec_downcast(self, instr: ir.Downcast, frame):
+        return frame[instr.operands[0].id]
+
+    def _exec_getfield(self, instr: ir.GetField, frame):
+        obj = frame[instr.operands[0].id]
+        return obj.fields[instr.field.slot]
+
+    def _exec_setfield(self, instr: ir.SetField, frame):
+        obj = frame[instr.operands[0].id]
+        obj.fields[instr.field.slot] = frame[instr.operands[1].id]
+        return None
+
+    def _exec_getstatic(self, instr: ir.GetStatic, frame):
+        return self.runtime.get_static(instr.field)
+
+    def _exec_setstatic(self, instr: ir.SetStatic, frame):
+        self.runtime.set_static(instr.field, frame[instr.operands[0].id])
+        return None
+
+    def _exec_getelt(self, instr: ir.GetElt, frame):
+        array = frame[instr.operands[0].id]
+        return array.elements[frame[instr.operands[1].id]]
+
+    def _exec_setelt(self, instr: ir.SetElt, frame):
+        array = frame[instr.operands[0].id]
+        value = frame[instr.operands[2].id]
+        self._array_store_check(array, value)
+        array.elements[frame[instr.operands[1].id]] = value
+        return None
+
+    def _array_store_check(self, array, value) -> None:
+        """Java array covariance: reference stores are checked against
+        the array's *runtime* element type (ArrayStoreException)."""
+        element = array.array_type.element
+        if value is None or not element.is_reference():
+            return
+        if not value_instanceof(self.world, value, element):
+            self.runtime.throw("java.lang.ArrayStoreException",
+                               str(element))
+
+    def _exec_arraylen(self, instr: ir.ArrayLen, frame):
+        return frame[instr.operands[0].id].length
+
+    def _exec_new(self, instr: ir.New, frame):
+        return ObjectRef(instr.class_info)
+
+    def _exec_newarray(self, instr: ir.NewArray, frame):
+        length = frame[instr.operands[0].id]
+        if length < 0:
+            self.runtime.throw("java.lang.NegativeArraySizeException",
+                               str(length))
+        return ArrayRef(instr.array_type, length)
+
+    def _exec_instanceof(self, instr: ir.InstanceOf, frame):
+        value = frame[instr.operands[0].id]
+        return value_instanceof(self.world, value, instr.target_type)
+
+    def _exec_call(self, instr: ir.Call, frame):
+        args = [frame[op.id] for op in instr.operands]
+        method = instr.method
+        if instr.dispatch:
+            receiver = args[0]
+            method = self._resolve_virtual(receiver, method)
+        return self._invoke(method, args)
+
+    def _resolve_virtual(self, receiver, method: MethodInfo) -> MethodInfo:
+        from repro.interp.heap import runtime_class
+        cls = runtime_class(self.world, receiver)
+        if cls is None:
+            raise InterpreterError("virtual dispatch on null receiver")
+        if method.vtable_slot >= 0 and method.vtable_slot < len(cls.vtable):
+            resolved = cls.vtable[method.vtable_slot]
+            if resolved.signature == method.signature:
+                return resolved
+        # builtin receiver (e.g. JStr) dispatches by signature search
+        for candidate in cls.methods_named(method.name):
+            if candidate.signature == method.signature:
+                return candidate
+        return method
+
+    def _invoke(self, method: MethodInfo, args: list):
+        if method.is_native:
+            return self.runtime.invoke_native(method, args)
+        function = self.module.functions.get(method)
+        if function is None:
+            raise InterpreterError(
+                f"no body for method {method.qualified_name}")
+        return self.call(function, args)
+
+    def _invoke_virtual_for_runtime(self, receiver, method: MethodInfo):
+        resolved = self._resolve_virtual(receiver, method)
+        return self._invoke(resolved, [receiver])

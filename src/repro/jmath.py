@@ -1,0 +1,120 @@
+"""Java numeric semantics: wrap-around two's-complement ints and IEEE floats.
+
+These helpers are shared by the operation tables, the constant folder, the
+SafeTSA interpreter and the bytecode interpreter, so that all executors agree
+bit-for-bit on arithmetic results.
+"""
+
+from __future__ import annotations
+
+import math
+import struct
+
+INT_MIN = -(2**31)
+INT_MAX = 2**31 - 1
+LONG_MIN = -(2**63)
+LONG_MAX = 2**63 - 1
+
+
+def i32(value: int) -> int:
+    """Truncate to a signed 32-bit integer (Java ``int`` overflow)."""
+    value &= 0xFFFFFFFF
+    return value - 0x100000000 if value >= 0x80000000 else value
+
+
+def i64(value: int) -> int:
+    """Truncate to a signed 64-bit integer (Java ``long`` overflow)."""
+    value &= 0xFFFFFFFFFFFFFFFF
+    return value - 0x10000000000000000 if value >= 0x8000000000000000 else value
+
+
+def f32(value: float) -> float:
+    """Round to IEEE-754 single precision (Java ``float``)."""
+    return struct.unpack("f", struct.pack("f", value))[0]
+
+
+def idiv(a: int, b: int) -> int:
+    """Java integer division: truncates toward zero; (MIN / -1) wraps."""
+    if b == 0:
+        raise ZeroDivisionError("/ by zero")
+    q = abs(a) // abs(b)
+    if (a < 0) != (b < 0):
+        q = -q
+    return q
+
+
+def irem(a: int, b: int) -> int:
+    """Java integer remainder: sign follows the dividend."""
+    if b == 0:
+        raise ZeroDivisionError("% by zero")
+    return a - idiv(a, b) * b
+
+
+def ishl(a: int, b: int, bits: int = 32) -> int:
+    """Java shift-left; the shift amount is masked to the type width."""
+    shift = b & (bits - 1)
+    return i32(a << shift) if bits == 32 else i64(a << shift)
+
+
+def ishr(a: int, b: int, bits: int = 32) -> int:
+    """Java arithmetic shift-right with masked shift amount."""
+    shift = b & (bits - 1)
+    return a >> shift
+
+
+def iushr(a: int, b: int, bits: int = 32) -> int:
+    """Java logical (unsigned) shift-right with masked shift amount."""
+    shift = b & (bits - 1)
+    mask = (1 << bits) - 1
+    shifted = (a & mask) >> shift
+    return i32(shifted) if bits == 32 else i64(shifted)
+
+
+def fdiv(a: float, b: float) -> float:
+    """IEEE division: never traps, produces inf/nan."""
+    if b == 0.0:
+        if a == 0.0 or math.isnan(a):
+            return math.nan
+        sign = math.copysign(1.0, a) * math.copysign(1.0, b)
+        return math.inf * sign
+    return a / b
+
+
+def frem(a: float, b: float) -> float:
+    """Java floating remainder (same as C fmod, unlike Python %)."""
+    if math.isnan(a) or math.isnan(b) or math.isinf(a) or b == 0.0:
+        return math.nan
+    if math.isinf(b):
+        return a
+    return math.fmod(a, b)
+
+
+def d2i(value: float) -> int:
+    """Java narrowing double->int: NaN -> 0, saturate at the int range."""
+    if math.isnan(value):
+        return 0
+    if value >= INT_MAX:
+        return INT_MAX
+    if value <= INT_MIN:
+        return INT_MIN
+    return int(value)
+
+
+def d2l(value: float) -> int:
+    """Java narrowing double->long: NaN -> 0, saturate at the long range."""
+    if math.isnan(value):
+        return 0
+    if value >= LONG_MAX:
+        return LONG_MAX
+    if value <= LONG_MIN:
+        return LONG_MIN
+    return int(value)
+
+
+def l2i(value: int) -> int:
+    return i32(value)
+
+
+def i2c(value: int) -> int:
+    """Java narrowing int->char: keep the low 16 bits, zero-extended."""
+    return value & 0xFFFF

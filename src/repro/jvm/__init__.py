@@ -1,0 +1,32 @@
+"""The Java-bytecode baseline.
+
+A stack-machine compiler from the same UAST the SafeTSA pipeline uses,
+plus everything needed to compare against it the way the paper does:
+
+- :mod:`repro.jvm.opcodes`   -- the JVM instruction subset with real byte
+  sizes;
+- :mod:`repro.jvm.codegen`   -- UAST -> bytecode (javac-shaped output:
+  comparison-fused branches, exception tables, ``multianewarray``);
+- :mod:`repro.jvm.classfile` -- a faithful class-file writer (constant
+  pool, method_info, Code attributes; ``javac -g:none`` equivalent) for
+  the Figure 5 size columns;
+- :mod:`repro.jvm.interp`    -- a bytecode interpreter sharing the heap
+  and runtime with the SafeTSA interpreter (the differential oracle);
+- :mod:`repro.jvm.verifier`  -- the stack/local dataflow verifier whose
+  cost SafeTSA's counter check is compared against (experiment E5).
+"""
+
+from repro.jvm.codegen import CompiledClass, CompiledMethod, compile_unit
+from repro.jvm.classfile import class_file_bytes
+from repro.jvm.interp import BytecodeInterpreter
+from repro.jvm.verifier import BytecodeVerifyError, verify_method
+
+__all__ = [
+    "CompiledClass",
+    "CompiledMethod",
+    "compile_unit",
+    "class_file_bytes",
+    "BytecodeInterpreter",
+    "BytecodeVerifyError",
+    "verify_method",
+]

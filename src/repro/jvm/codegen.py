@@ -1,0 +1,579 @@
+"""UAST -> JVM bytecode (the baseline compiler).
+
+The output is shaped like javac's: comparisons fuse into conditional
+branches, booleans materialise through the branch idiom, ``try`` bodies
+get exception-table entries in clause order, multi-dimensional ``new``
+becomes ``multianewarray``, and longs/doubles occupy two local slots.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Optional
+
+from repro.frontend.ast import LocalVar
+from repro.jvm.opcodes import BRANCHES, Insn, NEWARRAY_ATYPE, insn_size
+from repro.typesys.types import (
+    ArrayType,
+    BOOLEAN,
+    CHAR,
+    ClassType,
+    DOUBLE,
+    FLOAT,
+    INT,
+    LONG,
+    PrimitiveType,
+    Type,
+    VOID,
+)
+from repro.typesys.world import ClassInfo, FieldInfo, MethodInfo, World
+from repro.uast import nodes as u
+
+
+class CodegenError(Exception):
+    pass
+
+
+def _type_char(type: Type) -> str:
+    """The mnemonic prefix letter for a type."""
+    if isinstance(type, PrimitiveType):
+        return {"int": "i", "long": "l", "float": "f", "double": "d",
+                "boolean": "i", "char": "i", "void": "?"}[type.name]
+    return "a"
+
+
+def _slot_width(type: Type) -> int:
+    return 2 if type in (LONG, DOUBLE) else 1
+
+
+_ARRAY_SUFFIX = {"int": "ia", "long": "la", "float": "fa", "double": "da",
+                 "boolean": "ba", "char": "ca"}
+
+
+def _array_insn(elem: Type, load: bool) -> str:
+    if isinstance(elem, PrimitiveType):
+        prefix = _ARRAY_SUFFIX[elem.name]
+    else:
+        prefix = "aa"
+    return prefix + ("load" if load else "store")
+
+
+class CompiledMethod:
+    """Bytecode for one method."""
+
+    def __init__(self, info: ClassInfo, method: MethodInfo):
+        self.class_info = info
+        self.method = method
+        self.insns: list[Insn] = []
+        #: (start_index, end_index, handler_index, catch ClassInfo|None)
+        self.exception_table: list[tuple[int, int, int, Optional[ClassInfo]]] = []
+        self.max_locals = 0
+        self.max_stack = 0
+        #: label id -> instruction index (after layout)
+        self.label_index: dict[int, int] = {}
+
+    def instruction_count(self) -> int:
+        return len(self.insns)
+
+    def code_size(self) -> int:
+        return sum(insn_size(insn) for insn in self.insns)
+
+    def layout(self) -> None:
+        """Assign byte offsets to every instruction."""
+        offset = 0
+        for insn in self.insns:
+            insn.offset = offset
+            offset += insn_size(insn)
+
+
+class CompiledClass:
+    def __init__(self, info: ClassInfo):
+        self.info = info
+        self.methods: list[CompiledMethod] = []
+
+    def instruction_count(self) -> int:
+        return sum(m.instruction_count() for m in self.methods)
+
+
+class _MethodCompiler:
+    def __init__(self, world: World, info: ClassInfo, umethod: u.UMethod):
+        self.world = world
+        self.info = info
+        self.umethod = umethod
+        self.out = CompiledMethod(info, umethod.method)
+        self.slots: dict[LocalVar, int] = {}
+        self.next_slot = 0
+        self._labels = itertools.count(1)
+        #: raw (insn-or-label) stream; labels resolved in _finish
+        self.stream: list = []
+        self.break_labels: dict[int, int] = {}
+        self.continue_labels: dict[int, int] = {}
+        #: pending exception regions: (start_marker, entries)
+        self.exc_entries: list[tuple[object, object, object,
+                                     Optional[ClassInfo]]] = []
+
+    # ------------------------------------------------------------------
+
+    def compile(self) -> CompiledMethod:
+        method = self.umethod.method
+        if not method.is_static:
+            self._reserve_this()
+        for var in self.umethod.locals:
+            if var.is_param:
+                self._slot(var)
+        self.stmt(self.umethod.body)
+        if method.return_type is VOID:
+            self.emit("return")
+        self._finish()
+        return self.out
+
+    def _reserve_this(self) -> None:
+        this_var = self.umethod.locals[0]
+        self.slots[this_var] = 0
+        self.next_slot = 1
+
+    def _slot(self, var: LocalVar) -> int:
+        slot = self.slots.get(var)
+        if slot is None:
+            slot = self.next_slot
+            self.slots[var] = slot
+            self.next_slot += _slot_width(var.type)
+        return slot
+
+    def new_label(self) -> int:
+        return next(self._labels)
+
+    def emit(self, op: str, *args) -> Insn:
+        insn = Insn(op, *args)
+        self.stream.append(insn)
+        return insn
+
+    def mark(self, label: int) -> None:
+        self.stream.append(("label", label))
+
+    def _finish(self) -> None:
+        """Resolve labels to instruction indices and fix the tables."""
+        label_index: dict[int, int] = {}
+        insns: list[Insn] = []
+        marker_index: dict[int, int] = {}
+        for item in self.stream:
+            if isinstance(item, tuple) and item[0] == "label":
+                label_index[item[1]] = len(insns)
+            elif isinstance(item, tuple) and item[0] == "marker":
+                marker_index[item[1]] = len(insns)
+            else:
+                insns.append(item)
+        for insn in insns:
+            if insn.op in BRANCHES:
+                target = label_index.get(insn.args[0])
+                if target is None:
+                    raise CodegenError(f"unresolved label {insn.args[0]}")
+                insn.args = (target,)
+        table = []
+        for start, end, handler, catch in self.exc_entries:
+            table.append((marker_index[start], marker_index[end],
+                          label_index[handler], catch))
+        self.out.insns = insns
+        self.out.exception_table = table
+        self.out.label_index = label_index
+        self.out.max_locals = max(self.next_slot, 1)
+        self.out.max_stack = _estimate_max_stack(insns, table)
+        self.out.layout()
+
+    def _marker(self) -> int:
+        marker = next(self._labels)
+        self.stream.append(("marker", marker))
+        return marker
+
+    # ==================================================================
+    # statements
+
+    def stmt(self, stmt: u.UStmt) -> None:
+        handler = getattr(self, "_stmt_" + type(stmt).__name__.lower(), None)
+        if handler is None:
+            raise CodegenError(f"cannot compile {type(stmt).__name__}")
+        handler(stmt)
+
+    def _stmt_sblock(self, stmt: u.SBlock) -> None:
+        for inner in stmt.stmts:
+            self.stmt(inner)
+
+    def _stmt_slocalwrite(self, stmt: u.SLocalWrite) -> None:
+        self.expr(stmt.value)
+        prefix = _type_char(stmt.local.type)
+        self.emit(prefix + "store", self._slot(stmt.local))
+
+    def _stmt_sfieldwrite(self, stmt: u.SFieldWrite) -> None:
+        self.expr(stmt.obj)
+        self.expr(stmt.value)
+        self.emit("putfield", stmt.field)
+
+    def _stmt_sstaticwrite(self, stmt: u.SStaticWrite) -> None:
+        self.expr(stmt.value)
+        self.emit("putstatic", stmt.field)
+
+    def _stmt_sarraywrite(self, stmt: u.SArrayWrite) -> None:
+        self.expr(stmt.array)
+        self.expr(stmt.index)
+        self.expr(stmt.value)
+        elem = stmt.array.type.element
+        self.emit(_array_insn(elem, load=False))
+
+    def _stmt_seval(self, stmt: u.SEval) -> None:
+        self.expr(stmt.expr)
+        result = stmt.expr.type
+        if result is VOID or result is None:
+            return
+        self.emit("pop2" if _slot_width(result) == 2 else "pop")
+
+    def _stmt_sif(self, stmt: u.SIf) -> None:
+        else_label = self.new_label()
+        end_label = self.new_label()
+        self.branch(stmt.cond, else_label, jump_if=False)
+        self.stmt(stmt.then_body)
+        if stmt.else_body is not None:
+            self.emit("goto", end_label)
+            self.mark(else_label)
+            self.stmt(stmt.else_body)
+            self.mark(end_label)
+        else:
+            self.mark(else_label)
+
+    def _stmt_swhile(self, stmt: u.SWhile) -> None:
+        head = self.new_label()
+        exit_label = self.new_label()
+        self.break_labels[stmt.break_id] = exit_label
+        self.continue_labels[stmt.continue_id] = head
+        self.mark(head)
+        is_true = isinstance(stmt.cond, u.EConst) and stmt.cond.value is True
+        if not is_true:
+            self.branch(stmt.cond, exit_label, jump_if=False)
+        self.stmt(stmt.body)
+        self.emit("goto", head)
+        self.mark(exit_label)
+
+    def _stmt_sdowhile(self, stmt: u.SDoWhile) -> None:
+        head = self.new_label()
+        cond_label = self.new_label()
+        exit_label = self.new_label()
+        self.break_labels[stmt.break_id] = exit_label
+        self.continue_labels[stmt.continue_id] = cond_label
+        self.mark(head)
+        self.stmt(stmt.body)
+        self.mark(cond_label)
+        self.branch(stmt.cond, head, jump_if=True)
+        self.mark(exit_label)
+
+    def _stmt_slabeled(self, stmt: u.SLabeled) -> None:
+        exit_label = self.new_label()
+        self.break_labels[stmt.target_id] = exit_label
+        self.stmt(stmt.body)
+        self.mark(exit_label)
+
+    def _stmt_sbreak(self, stmt: u.SBreak) -> None:
+        self.emit("goto", self.break_labels[stmt.target_id])
+
+    def _stmt_scontinue(self, stmt: u.SContinue) -> None:
+        self.emit("goto", self.continue_labels[stmt.target_id])
+
+    def _stmt_sreturn(self, stmt: u.SReturn) -> None:
+        if stmt.value is None:
+            self.emit("return")
+        else:
+            self.expr(stmt.value)
+            self.emit(_type_char(stmt.value.type) + "return")
+
+    def _stmt_sthrow(self, stmt: u.SThrow) -> None:
+        self.expr(stmt.value)
+        self.emit("athrow")
+
+    def _stmt_stry(self, stmt: u.STry) -> None:
+        start = self._marker()
+        self.stmt(stmt.body)
+        end = self._marker()
+        end_label = self.new_label()
+        self.emit("goto", end_label)
+        for catch in stmt.catches:
+            handler = self.new_label()
+            self.mark(handler)
+            self.emit("astore", self._slot(catch.local))
+            self.stmt(catch.body)
+            self.emit("goto", end_label)
+            self.exc_entries.append((start, end, handler,
+                                     catch.catch_class))
+        self.mark(end_label)
+
+    # ==================================================================
+    # conditions (fused branches, javac style)
+
+    _CMP_BRANCH = {"eq": "eq", "ne": "ne", "lt": "lt", "le": "le",
+                   "gt": "gt", "ge": "ge"}
+    _NEGATE = {"eq": "ne", "ne": "eq", "lt": "ge", "ge": "lt",
+               "gt": "le", "le": "gt"}
+
+    def branch(self, cond: u.UExpr, target: int, jump_if: bool) -> None:
+        """Emit a conditional jump to ``target`` when ``cond == jump_if``."""
+        if isinstance(cond, u.EConst):
+            if bool(cond.value) == jump_if:
+                self.emit("goto", target)
+            return
+        if isinstance(cond, u.EPrim):
+            operation = cond.operation
+            name = operation.name
+            if name == "not":
+                self.branch(cond.args[0], target, not jump_if)
+                return
+            if name in self._CMP_BRANCH and len(cond.args) == 2:
+                base = operation.base
+                sense = name if jump_if else self._NEGATE[name]
+                left, right = cond.args
+                if base in (INT, CHAR, BOOLEAN):
+                    if isinstance(right, u.EConst) and right.value == 0 \
+                            and base is INT:
+                        self.expr(left)
+                        self.emit("if" + sense, target)
+                    else:
+                        self.expr(left)
+                        self.expr(right)
+                        self.emit("if_icmp" + sense, target)
+                    return
+                self.expr(left)
+                self.expr(right)
+                if base is LONG:
+                    self.emit("lcmp")
+                elif base is FLOAT:
+                    self.emit("fcmpl" if name in ("gt", "ge") else "fcmpg")
+                else:
+                    self.emit("dcmpl" if name in ("gt", "ge") else "dcmpg")
+                self.emit("if" + sense, target)
+                return
+        if isinstance(cond, u.ERefCmp):
+            sense = ("eq" if cond.is_eq else "ne") if jump_if \
+                else ("ne" if cond.is_eq else "eq")
+            left, right = cond.left, cond.right
+            if isinstance(right, u.EConst) and right.value is None:
+                self.expr(left)
+                self.emit("ifnull" if sense == "eq" else "ifnonnull", target)
+                return
+            if isinstance(left, u.EConst) and left.value is None:
+                self.expr(right)
+                self.emit("ifnull" if sense == "eq" else "ifnonnull", target)
+                return
+            self.expr(left)
+            self.expr(right)
+            self.emit("if_acmp" + sense, target)
+            return
+        # general boolean value
+        self.expr(cond)
+        self.emit("ifne" if jump_if else "ifeq", target)
+
+    # ==================================================================
+    # expressions
+
+    def expr(self, expr: u.UExpr) -> None:
+        handler = getattr(self, "_expr_" + type(expr).__name__.lower(), None)
+        if handler is None:
+            raise CodegenError(f"cannot compile {type(expr).__name__}")
+        handler(expr)
+
+    def _expr_econst(self, expr: u.EConst) -> None:
+        type, value = expr.type, expr.value
+        if type is INT or type is CHAR:
+            self.emit("iconst", value)
+        elif type is BOOLEAN:
+            self.emit("iconst", 1 if value else 0)
+        elif type is LONG:
+            self.emit("lconst", value)
+        elif type is FLOAT:
+            self.emit("fconst", value)
+        elif type is DOUBLE:
+            self.emit("dconst", value)
+        elif value is None:
+            self.emit("aconst_null")
+        elif isinstance(value, str):
+            self.emit("ldc_string", value)
+        else:
+            raise CodegenError(f"bad constant {value!r}")
+
+    def _expr_elocal(self, expr: u.ELocal) -> None:
+        self.emit(_type_char(expr.local.type) + "load",
+                  self._slot(expr.local))
+
+    def _expr_egetfield(self, expr: u.EGetField) -> None:
+        self.expr(expr.obj)
+        self.emit("getfield", expr.field)
+
+    def _expr_egetstatic(self, expr: u.EGetStatic) -> None:
+        self.emit("getstatic", expr.field)
+
+    def _expr_earrayget(self, expr: u.EArrayGet) -> None:
+        self.expr(expr.array)
+        self.expr(expr.index)
+        self.emit(_array_insn(expr.type, load=True))
+
+    def _expr_earraylen(self, expr: u.EArrayLen) -> None:
+        self.expr(expr.array)
+        self.emit("arraylength")
+
+    _PRIM_DIRECT = {
+        "add": "add", "sub": "sub", "mul": "mul", "div": "div",
+        "rem": "rem", "neg": "neg", "shl": "shl", "shr": "shr",
+        "ushr": "ushr", "and": "and", "or": "or", "xor": "xor",
+    }
+    _CONVERSIONS = {
+        ("int", "to_long"): "i2l", ("int", "to_float"): "i2f",
+        ("int", "to_double"): "i2d", ("int", "to_char"): "i2c",
+        ("long", "to_int"): "l2i", ("long", "to_float"): "l2f",
+        ("long", "to_double"): "l2d",
+        ("float", "to_int"): "f2i", ("float", "to_long"): "f2l",
+        ("float", "to_double"): "f2d",
+        ("double", "to_int"): "d2i", ("double", "to_long"): "d2l",
+        ("double", "to_float"): "d2f",
+    }
+
+    def _expr_eprim(self, expr: u.EPrim) -> None:
+        operation = expr.operation
+        base, name = operation.base, operation.name
+        key = (base.name, name)
+        if key in self._CONVERSIONS:
+            self.expr(expr.args[0])
+            self.emit(self._CONVERSIONS[key])
+            return
+        if base is CHAR and name == "to_int":
+            self.expr(expr.args[0])  # chars already sit as ints
+            return
+        if base is BOOLEAN:
+            if name == "not":
+                self.expr(expr.args[0])
+                self.emit("iconst", 1)
+                self.emit("ixor")
+                return
+            if name in ("and", "or", "xor"):
+                self.expr(expr.args[0])
+                self.expr(expr.args[1])
+                self.emit("i" + name)
+                return
+            # eq/ne on booleans fall through to the comparison idiom
+        if name in self._CMP_BRANCH:
+            self._materialize_comparison(expr)
+            return
+        if name == "compl":
+            self.expr(expr.args[0])
+            if base is LONG:
+                self.emit("lconst", -1)
+                self.emit("lxor")
+            else:
+                self.emit("iconst", -1)
+                self.emit("ixor")
+            return
+        direct = self._PRIM_DIRECT.get(name)
+        if direct is None:
+            raise CodegenError(f"no bytecode for {operation.qualified_name}")
+        for arg in expr.args:
+            self.expr(arg)
+        self.emit(_type_char(base) + direct)
+
+    def _materialize_comparison(self, expr: u.UExpr) -> None:
+        """Boolean-valued comparison via the branch idiom (javac style)."""
+        true_label = self.new_label()
+        end_label = self.new_label()
+        self.branch(expr, true_label, jump_if=True)
+        self.emit("iconst", 0)
+        self.emit("goto", end_label)
+        self.mark(true_label)
+        self.emit("iconst", 1)
+        self.mark(end_label)
+
+    def _expr_erefcmp(self, expr: u.ERefCmp) -> None:
+        self._materialize_comparison(expr)
+
+    def _expr_ecall(self, expr: u.ECall) -> None:
+        if expr.receiver is not None:
+            self.expr(expr.receiver)
+        for arg in expr.args:
+            self.expr(arg)
+        method = expr.method
+        if method.is_static:
+            self.emit("invokestatic", method)
+        elif expr.dispatch:
+            self.emit("invokevirtual", method)
+        else:
+            self.emit("invokespecial", method)
+
+    def _expr_enew(self, expr: u.ENew) -> None:
+        self.emit("new", expr.class_info)
+        self.emit("dup")
+        for arg in expr.args:
+            self.expr(arg)
+        self.emit("invokespecial", expr.ctor)
+
+    def _expr_enewarray(self, expr: u.ENewArray) -> None:
+        self.expr(expr.length)
+        elem = expr.array_type.element
+        if isinstance(elem, PrimitiveType):
+            self.emit("newarray", NEWARRAY_ATYPE[elem.name])
+        else:
+            self.emit("anewarray", elem)
+
+    def _expr_enewmultiarray(self, expr: u.ENewMultiArray) -> None:
+        for dim in expr.dims:
+            self.expr(dim)
+        self.emit("multianewarray", expr.array_type, len(expr.dims))
+
+    def _expr_einstanceof(self, expr: u.EInstanceOf) -> None:
+        self.expr(expr.operand)
+        self.emit("instanceof", expr.target_type)
+
+    def _expr_echeckedcast(self, expr: u.ECheckedCast) -> None:
+        self.expr(expr.operand)
+        self.emit("checkcast", expr.type)
+
+    def _expr_ewidenref(self, expr: u.EWidenRef) -> None:
+        self.expr(expr.operand)  # no bytecode needed
+
+
+def _stack_delta(insn: Insn) -> int:
+    """Approximate operand-stack word delta (for max_stack estimation)."""
+    op = insn.op
+    if op in ("iconst", "fconst", "ldc_string", "aconst_null", "dup",
+              "dup_x1", "dup_x2", "iload", "fload", "aload", "new",
+              "getstatic"):
+        return 2 if op == "getstatic" else 1
+    if op in ("lconst", "dconst", "lload", "dload", "dup2"):
+        return 2
+    if op.endswith("return") or op == "athrow":
+        return 0
+    simple = {
+        "pop": -1, "pop2": -2, "swap": 0, "arraylength": 0, "nop": 0,
+        "iinc": 0, "goto": 0,
+    }
+    if op in simple:
+        return simple[op]
+    return 1  # conservative default
+
+
+def _estimate_max_stack(insns, exception_table) -> int:
+    depth = 0
+    highest = 2
+    for insn in insns:
+        depth = max(0, depth + _stack_delta(insn))
+        highest = max(highest, depth)
+    return min(highest + 2, 64)
+
+
+def compile_method(world: World, info: ClassInfo,
+                   umethod: u.UMethod) -> CompiledMethod:
+    return _MethodCompiler(world, info, umethod).compile()
+
+
+def compile_unit(world: World,
+                 per_class: dict[ClassInfo, list[u.UMethod]]
+                 ) -> list[CompiledClass]:
+    """Compile every class's UAST methods to bytecode."""
+    compiled = []
+    for info, umethods in per_class.items():
+        cls = CompiledClass(info)
+        for umethod in umethods:
+            cls.methods.append(compile_method(world, info, umethod))
+        compiled.append(cls)
+    return compiled

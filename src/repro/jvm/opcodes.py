@@ -1,0 +1,163 @@
+"""Symbolic JVM instructions with real encoded byte sizes.
+
+Instructions are kept symbolic (mnemonic + operands) so the interpreter
+and verifier can work directly on them; :func:`insn_size` gives the byte
+length each instruction has in a real class file, which the size model
+and branch-offset layout use.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+
+class Insn:
+    """One JVM instruction.
+
+    ``args`` depends on the mnemonic: local slot index, constant value,
+    label id (branches), or a symbolic member reference (a constant-pool
+    citizen).
+    """
+
+    __slots__ = ("op", "args", "offset")
+
+    def __init__(self, op: str, *args):
+        self.op = op
+        self.args = args
+        #: byte offset in the method's code array (assigned at layout)
+        self.offset = -1
+
+    def __repr__(self) -> str:  # pragma: no cover
+        rendered = " ".join(str(a) for a in self.args)
+        return f"<{self.op} {rendered}>".replace(" >", ">")
+
+
+#: one-byte instructions
+_SIZE1 = frozenset("""
+    nop aconst_null
+    iaload laload faload daload aaload baload caload saload
+    iastore lastore fastore dastore aastore bastore castore sastore
+    pop pop2 dup dup_x1 dup_x2 dup2 swap
+    iadd ladd fadd dadd isub lsub fsub dsub imul lmul fmul dmul
+    idiv ldiv fdiv ddiv irem lrem frem drem ineg lneg fneg dneg
+    ishl lshl ishr lshr iushr lushr iand land ior lor ixor lxor
+    i2l i2f i2d l2i l2f l2d f2i f2l f2d d2i d2l d2f i2b i2c i2s
+    lcmp fcmpl fcmpg dcmpl dcmpg
+    ireturn lreturn freturn dreturn areturn return
+    arraylength athrow monitorenter monitorexit
+""".split())
+
+#: three-byte instructions (opcode + 2-byte operand)
+_SIZE3 = frozenset("""
+    sipush ldc_w ldc2_w
+    ifeq ifne iflt ifge ifgt ifle
+    if_icmpeq if_icmpne if_icmplt if_icmpge if_icmpgt if_icmple
+    if_acmpeq if_acmpne ifnull ifnonnull goto jsr
+    getstatic putstatic getfield putfield
+    invokevirtual invokespecial invokestatic
+    new anewarray checkcast instanceof
+""".split())
+
+
+def insn_size(insn: Insn) -> int:
+    """Encoded size in bytes (wide forms for large local indices)."""
+    op = insn.op
+    if op == "iconst":
+        value = insn.args[0]
+        if -1 <= value <= 5:
+            return 1  # iconst_<n>
+        if -128 <= value <= 127:
+            return 2  # bipush
+        if -32768 <= value <= 32767:
+            return 3  # sipush
+        return 2  # ldc (cp index < 256 assumed for the model)
+    if op == "lconst":
+        return 1 if insn.args[0] in (0, 1) else 3  # lconst_<n> / ldc2_w
+    if op == "fconst":
+        return 1 if insn.args[0] in (0.0, 1.0, 2.0) else 2
+    if op == "dconst":
+        return 1 if insn.args[0] in (0.0, 1.0) else 3
+    if op == "ldc_string":
+        return 2
+    if op in ("iload", "lload", "fload", "dload", "aload",
+              "istore", "lstore", "fstore", "dstore", "astore"):
+        slot = insn.args[0]
+        if slot <= 3:
+            return 1  # iload_<n>
+        if slot <= 255:
+            return 2
+        return 4  # wide
+    if op == "iinc":
+        return 3 if insn.args[0] <= 255 and -128 <= insn.args[1] <= 127 \
+            else 6
+    if op == "newarray":
+        return 2
+    if op == "multianewarray":
+        return 4
+    if op in _SIZE1:
+        return 1
+    if op in _SIZE3:
+        return 3
+    raise ValueError(f"unknown mnemonic {op}")
+
+
+#: mnemonic -> real JVM opcode byte (for class-file emission); variable
+#: forms are resolved during emission
+OPCODE_BYTES = {
+    "nop": 0x00, "aconst_null": 0x01,
+    "bipush": 0x10, "sipush": 0x11, "ldc": 0x12, "ldc_w": 0x13,
+    "ldc2_w": 0x14,
+    "iload": 0x15, "lload": 0x16, "fload": 0x17, "dload": 0x18,
+    "aload": 0x19,
+    "iaload": 0x2E, "laload": 0x2F, "faload": 0x30, "daload": 0x31,
+    "aaload": 0x32, "baload": 0x33, "caload": 0x34, "saload": 0x35,
+    "istore": 0x36, "lstore": 0x37, "fstore": 0x38, "dstore": 0x39,
+    "astore": 0x3A,
+    "iastore": 0x4F, "lastore": 0x50, "fastore": 0x51, "dastore": 0x52,
+    "aastore": 0x53, "bastore": 0x54, "castore": 0x55, "sastore": 0x56,
+    "pop": 0x57, "pop2": 0x58, "dup": 0x59, "dup_x1": 0x5A,
+    "dup_x2": 0x5B, "dup2": 0x5C, "swap": 0x5F,
+    "iadd": 0x60, "ladd": 0x61, "fadd": 0x62, "dadd": 0x63,
+    "isub": 0x64, "lsub": 0x65, "fsub": 0x66, "dsub": 0x67,
+    "imul": 0x68, "lmul": 0x69, "fmul": 0x6A, "dmul": 0x6B,
+    "idiv": 0x6C, "ldiv": 0x6D, "fdiv": 0x6E, "ddiv": 0x6F,
+    "irem": 0x70, "lrem": 0x71, "frem": 0x72, "drem": 0x73,
+    "ineg": 0x74, "lneg": 0x75, "fneg": 0x76, "dneg": 0x77,
+    "ishl": 0x78, "lshl": 0x79, "ishr": 0x7A, "lshr": 0x7B,
+    "iushr": 0x7C, "lushr": 0x7D,
+    "iand": 0x7E, "land": 0x7F, "ior": 0x80, "lor": 0x81,
+    "ixor": 0x82, "lxor": 0x83, "iinc": 0x84,
+    "i2l": 0x85, "i2f": 0x86, "i2d": 0x87, "l2i": 0x88, "l2f": 0x89,
+    "l2d": 0x8A, "f2i": 0x8B, "f2l": 0x8C, "f2d": 0x8D, "d2i": 0x8E,
+    "d2l": 0x8F, "d2f": 0x90, "i2b": 0x91, "i2c": 0x92, "i2s": 0x93,
+    "lcmp": 0x94, "fcmpl": 0x95, "fcmpg": 0x96, "dcmpl": 0x97,
+    "dcmpg": 0x98,
+    "ifeq": 0x99, "ifne": 0x9A, "iflt": 0x9B, "ifge": 0x9C,
+    "ifgt": 0x9D, "ifle": 0x9E,
+    "if_icmpeq": 0x9F, "if_icmpne": 0xA0, "if_icmplt": 0xA1,
+    "if_icmpge": 0xA2, "if_icmpgt": 0xA3, "if_icmple": 0xA4,
+    "if_acmpeq": 0xA5, "if_acmpne": 0xA6,
+    "goto": 0xA7,
+    "ireturn": 0xAC, "lreturn": 0xAD, "freturn": 0xAE, "dreturn": 0xAF,
+    "areturn": 0xB0, "return": 0xB1,
+    "getstatic": 0xB2, "putstatic": 0xB3, "getfield": 0xB4,
+    "putfield": 0xB5,
+    "invokevirtual": 0xB6, "invokespecial": 0xB7, "invokestatic": 0xB8,
+    "new": 0xBB, "newarray": 0xBC, "anewarray": 0xBD,
+    "arraylength": 0xBE, "athrow": 0xBF, "checkcast": 0xC0,
+    "instanceof": 0xC1,
+    "multianewarray": 0xC5, "ifnull": 0xC6, "ifnonnull": 0xC7,
+}
+
+#: newarray atype codes (JVM spec table)
+NEWARRAY_ATYPE = {
+    "boolean": 4, "char": 5, "float": 6, "double": 7,
+    "byte": 8, "short": 9, "int": 10, "long": 11,
+}
+
+#: branch mnemonics (their single argument is a label id)
+BRANCHES = frozenset("""
+    ifeq ifne iflt ifge ifgt ifle
+    if_icmpeq if_icmpne if_icmplt if_icmpge if_icmpgt if_icmple
+    if_acmpeq if_acmpne ifnull ifnonnull goto
+""".split())

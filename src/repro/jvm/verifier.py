@@ -1,0 +1,370 @@
+"""JVM bytecode verification by dataflow analysis.
+
+This is the costly consumer-side analysis the paper contrasts SafeTSA
+against (Section 9: "checking that all operand accesses to the stack are
+valid - which requires a data flow analysis - decreases the runtime of
+applications significantly").  The verifier abstractly interprets every
+method: it tracks the types on the operand stack and in the local
+variables, merges states at join points (including exception handler
+entries) and iterates to a fixpoint.
+
+Abstract types: 'int', 'long', 'float', 'double', a reference
+:class:`~repro.typesys.types.Type`, 'null', or 'top' (conflict).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.jvm.codegen import CompiledMethod
+from repro.jvm.opcodes import BRANCHES
+from repro.typesys.types import (
+    ArrayType,
+    ClassType,
+    PrimitiveType,
+    Type,
+)
+from repro.typesys.world import MethodInfo, World
+
+OBJECT = ClassType("java.lang.Object")
+
+
+class BytecodeVerifyError(Exception):
+    """The method's bytecode is not type-safe."""
+
+
+def _abstract(type: Type) -> object:
+    if isinstance(type, PrimitiveType):
+        if type.name in ("int", "boolean", "char"):
+            return "int"
+        return type.name
+    return type
+
+
+class _State:
+    __slots__ = ("stack", "locals")
+
+    def __init__(self, stack: tuple, locals: dict):
+        self.stack = stack
+        self.locals = locals
+
+    def key(self) -> tuple:
+        return (self.stack, tuple(sorted(self.locals.items(),
+                                         key=lambda kv: kv[0],
+                                         )))
+
+
+def _merge_type(world: World, a, b):
+    if a == b:
+        return a
+    if a == "top" or b == "top":
+        return "top"
+    a_ref = isinstance(a, Type) or a == "null"
+    b_ref = isinstance(b, Type) or b == "null"
+    if a_ref and b_ref:
+        if a == "null":
+            return b
+        if b == "null":
+            return a
+        try:
+            return world.common_supertype(a, b)
+        except Exception:
+            return OBJECT
+    return "top"
+
+
+class _MethodVerifier:
+    def __init__(self, world: World, compiled: CompiledMethod):
+        self.world = world
+        self.compiled = compiled
+        self.method = compiled.method
+        self.insns = compiled.insns
+        #: pc -> merged-in state
+        self.states: dict[int, _State] = {}
+        self.worklist: list[int] = []
+        self.passes = 0
+
+    def fail(self, pc: int, message: str) -> None:
+        raise BytecodeVerifyError(
+            f"{self.method.qualified_name} @{pc}: {message}")
+
+    # ------------------------------------------------------------------
+
+    def verify(self) -> int:
+        """Run to fixpoint; returns the number of abstract steps."""
+        method = self.method
+        locals_: dict[int, object] = {}
+        slot = 0
+        if not method.is_static:
+            locals_[slot] = method.declaring.type
+            slot += 1
+        for param in method.param_types:
+            locals_[slot] = _abstract(param)
+            slot += 2 if _abstract(param) in ("long", "double") else 1
+        self._flow_to(0, _State((), locals_))
+        steps = 0
+        while self.worklist:
+            pc = self.worklist.pop()
+            steps += 1
+            if steps > 200_000:
+                self.fail(pc, "verification did not converge")
+            self._interpret(pc)
+        return steps
+
+    def _flow_to(self, pc: int, state: _State) -> None:
+        if pc >= len(self.insns):
+            self.fail(pc, "control flow past the end of the code")
+        existing = self.states.get(pc)
+        if existing is None:
+            self.states[pc] = state
+            self.worklist.append(pc)
+            return
+        if len(existing.stack) != len(state.stack):
+            self.fail(pc, f"stack depth mismatch at join: "
+                          f"{len(existing.stack)} vs {len(state.stack)}")
+        merged_stack = tuple(
+            _merge_type(self.world, a, b)
+            for a, b in zip(existing.stack, state.stack))
+        merged_locals = {}
+        for slot in set(existing.locals) | set(state.locals):
+            a = existing.locals.get(slot, "top")
+            b = state.locals.get(slot, "top")
+            merged_locals[slot] = _merge_type(self.world, a, b)
+        merged = _State(merged_stack, merged_locals)
+        if merged.key() != existing.key():
+            self.states[pc] = merged
+            self.worklist.append(pc)
+
+    def _flow_exceptions(self, pc: int, locals_: dict) -> None:
+        for start, end, handler, catch in self.compiled.exception_table:
+            if start <= pc < end:
+                catch_type = catch.type if catch is not None \
+                    else ClassType("java.lang.Throwable")
+                self._flow_to(handler, _State((catch_type,), dict(locals_)))
+
+    # ------------------------------------------------------------------
+
+    def _element_type(self, array, op: str, pc: int):
+        """Abstract element type for an array-load instruction."""
+        kinds = {"ia": "int", "la": "long", "fa": "float", "da": "double",
+                 "ba": "int", "ca": "int", "sa": "int", "aa": "ref"}
+        expected = kinds[op[:2]]
+        if isinstance(array, ArrayType):
+            elem = _abstract(array.element)
+            if expected == "ref":
+                if not isinstance(elem, Type):
+                    self.fail(pc, f"{op} on a {array}")
+                return elem
+            if elem != expected:
+                self.fail(pc, f"{op} on a {array}")
+            return elem
+        if array == "null":
+            return OBJECT if expected == "ref" else expected
+        self.fail(pc, f"{op} on non-array {array}")
+
+    def _pop(self, stack: list, pc: int, expect=None):
+        if not stack:
+            self.fail(pc, "operand stack underflow")
+        value = stack.pop()
+        if expect is not None:
+            if expect == "ref":
+                if not (isinstance(value, Type) or value == "null"):
+                    self.fail(pc, f"expected a reference, found {value}")
+            elif value != expect and value != "null":
+                self.fail(pc, f"expected {expect}, found {value}")
+        return value
+
+    def _interpret(self, pc: int) -> None:
+        state = self.states[pc]
+        stack = list(state.stack)
+        locals_ = dict(state.locals)
+        insn = self.insns[pc]
+        op = insn.op
+        next_pcs: list[int] = [pc + 1]
+        self._flow_exceptions(pc, locals_)
+
+        if op in ("iconst",):
+            stack.append("int")
+        elif op == "lconst":
+            stack.append("long")
+        elif op == "fconst":
+            stack.append("float")
+        elif op == "dconst":
+            stack.append("double")
+        elif op == "ldc_string":
+            stack.append(ClassType("java.lang.String"))
+        elif op == "aconst_null":
+            stack.append("null")
+        elif op in ("iload", "lload", "fload", "dload", "aload"):
+            value = locals_.get(insn.args[0], "top")
+            expected = {"iload": "int", "lload": "long", "fload": "float",
+                        "dload": "double"}.get(op)
+            if expected is not None and value != expected:
+                self.fail(pc, f"local {insn.args[0]} holds {value}, "
+                              f"{op} needs {expected}")
+            if op == "aload" and not (isinstance(value, Type)
+                                      or value == "null"):
+                self.fail(pc, f"local {insn.args[0]} holds {value}, "
+                              "aload needs a reference")
+            stack.append(value)
+        elif op in ("istore", "lstore", "fstore", "dstore", "astore"):
+            expected = {"istore": "int", "lstore": "long",
+                        "fstore": "float", "dstore": "double"}.get(op)
+            value = self._pop(stack, pc,
+                              expected if expected else "ref")
+            locals_[insn.args[0]] = value
+        elif op in ("pop", "pop2"):
+            self._pop(stack, pc)
+        elif op == "dup":
+            if not stack:
+                self.fail(pc, "dup on empty stack")
+            stack.append(stack[-1])
+        elif op == "dup_x1":
+            if len(stack) < 2:
+                self.fail(pc, "dup_x1 needs two values")
+            stack.insert(-2, stack[-1])
+        elif op == "swap":
+            if len(stack) < 2:
+                self.fail(pc, "swap needs two values")
+            stack[-1], stack[-2] = stack[-2], stack[-1]
+        elif op == "nop":
+            pass
+        elif op in _BIN_OPS:
+            operand, result = _BIN_OPS[op]
+            self._pop(stack, pc, _SHIFT_RHS.get(op, operand))
+            self._pop(stack, pc, operand)
+            stack.append(result)
+        elif op in _UN_OPS:
+            operand, result = _UN_OPS[op]
+            self._pop(stack, pc, operand)
+            stack.append(result)
+        elif op in ("lcmp", "fcmpl", "fcmpg", "dcmpl", "dcmpg"):
+            operand = {"l": "long", "f": "float",
+                       "d": "double"}[op[0]]
+            self._pop(stack, pc, operand)
+            self._pop(stack, pc, operand)
+            stack.append("int")
+        elif op == "goto":
+            next_pcs = [insn.args[0]]
+        elif op in BRANCHES:
+            if op.startswith("if_icmp"):
+                self._pop(stack, pc, "int")
+                self._pop(stack, pc, "int")
+            elif op.startswith("if_acmp") or op in ("ifnull", "ifnonnull"):
+                self._pop(stack, pc, "ref")
+            else:
+                self._pop(stack, pc, "int")
+            next_pcs = [pc + 1, insn.args[0]]
+        elif op.endswith("aload") and op != "aload":
+            self._pop(stack, pc, "int")
+            array = self._pop(stack, pc, "ref")
+            stack.append(self._element_type(array, op, pc))
+        elif op.endswith("astore") and op != "astore":
+            elem = {"ia": "int", "la": "long", "fa": "float",
+                    "da": "double", "ba": "int", "ca": "int",
+                    "sa": "int"}.get(op[:2])
+            self._pop(stack, pc, elem if elem else "ref")
+            self._pop(stack, pc, "int")
+            self._pop(stack, pc, "ref")
+        elif op == "arraylength":
+            self._pop(stack, pc, "ref")
+            stack.append("int")
+        elif op == "newarray":
+            self._pop(stack, pc, "int")
+            atype = {4: "boolean", 5: "char", 6: "float", 7: "double",
+                     8: "int", 9: "int", 10: "int",
+                     11: "long"}[insn.args[0]]
+            stack.append(ArrayType(PrimitiveType(atype)))
+        elif op == "anewarray":
+            self._pop(stack, pc, "int")
+            stack.append(ArrayType(insn.args[0]))
+        elif op == "multianewarray":
+            array_type, dims = insn.args
+            for _ in range(dims):
+                self._pop(stack, pc, "int")
+            stack.append(array_type)
+        elif op == "getfield":
+            self._pop(stack, pc, "ref")
+            stack.append(_abstract(insn.args[0].type))
+        elif op == "putfield":
+            self._pop(stack, pc, _abstract(insn.args[0].type)
+                      if not insn.args[0].type.is_reference() else "ref")
+            self._pop(stack, pc, "ref")
+        elif op == "getstatic":
+            stack.append(_abstract(insn.args[0].type))
+        elif op == "putstatic":
+            self._pop(stack, pc, _abstract(insn.args[0].type)
+                      if not insn.args[0].type.is_reference() else "ref")
+        elif op == "new":
+            stack.append(insn.args[0].type)
+        elif op == "checkcast":
+            self._pop(stack, pc, "ref")
+            stack.append(insn.args[0])
+        elif op == "instanceof":
+            self._pop(stack, pc, "ref")
+            stack.append("int")
+        elif op == "athrow":
+            self._pop(stack, pc, "ref")
+            next_pcs = []
+        elif op in ("invokestatic", "invokespecial", "invokevirtual"):
+            method: MethodInfo = insn.args[0]
+            for param in reversed(method.param_types):
+                self._pop(stack, pc,
+                          _abstract(param)
+                          if not param.is_reference() else "ref")
+            if not method.is_static:
+                self._pop(stack, pc, "ref")
+            if method.return_type.descriptor() != "V":
+                stack.append(_abstract(method.return_type))
+        elif op == "return":
+            next_pcs = []
+        elif op.endswith("return"):
+            expected = {"i": "int", "l": "long", "f": "float",
+                        "d": "double", "a": "ref"}[op[0]]
+            self._pop(stack, pc, expected)
+            next_pcs = []
+        else:
+            self.fail(pc, f"unknown opcode {op}")
+
+        out = _State(tuple(stack), locals_)
+        for next_pc in next_pcs:
+            self._flow_to(next_pc, out)
+
+
+_BIN_OPS = {}
+for _prefix, _type in (("i", "int"), ("l", "long"), ("f", "float"),
+                       ("d", "double")):
+    for _name in ("add", "sub", "mul", "div", "rem"):
+        _BIN_OPS[_prefix + _name] = (_type, _type)
+for _prefix in ("i", "l"):
+    _type = "int" if _prefix == "i" else "long"
+    for _name in ("shl", "shr", "ushr", "and", "or", "xor"):
+        _BIN_OPS[_prefix + _name] = (_type, _type)
+
+#: shift counts are always ints
+_SHIFT_RHS = {"lshl": "int", "lshr": "int", "lushr": "int"}
+
+_UN_OPS = {
+    "ineg": ("int", "int"), "lneg": ("long", "long"),
+    "fneg": ("float", "float"), "dneg": ("double", "double"),
+    "i2l": ("int", "long"), "i2f": ("int", "float"),
+    "i2d": ("int", "double"), "i2c": ("int", "int"),
+    "l2i": ("long", "int"), "l2f": ("long", "float"),
+    "l2d": ("long", "double"),
+    "f2i": ("float", "int"), "f2l": ("float", "long"),
+    "f2d": ("float", "double"),
+    "d2i": ("double", "int"), "d2l": ("double", "long"),
+    "d2f": ("double", "float"),
+}
+
+
+def verify_method(world: World, compiled: CompiledMethod) -> int:
+    """Verify one method; returns the abstract-step count (a cost proxy)."""
+    return _MethodVerifier(world, compiled).verify()
+
+
+def verify_class(world: World, compiled_class) -> int:
+    steps = 0
+    for method in compiled_class.methods:
+        steps += verify_method(world, method)
+    return steps

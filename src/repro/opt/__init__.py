@@ -1,0 +1,12 @@
+"""Producer-side optimisations (paper Section 8).
+
+Passes: constant propagation, common subexpression elimination over a
+``Mem``-threaded memory dependence structure, check elimination enabled by
+type separation, and dead-code elimination.  All passes run on the SSA
+form and preserve the invariant that every operand dominates its use on
+the correct register plane.
+"""
+
+from repro.opt.pipeline import optimize_module, optimize_function
+
+__all__ = ["optimize_module", "optimize_function"]

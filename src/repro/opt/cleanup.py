@@ -1,0 +1,143 @@
+"""Post-optimisation CFG repair.
+
+Check elimination can delete the trapping instruction that justified a
+subblock's exception edge.  This pass removes such stale edges: the
+dispatch block loses the corresponding predecessor, its phis lose the
+matching operand, and the CST leaf's ``exc`` flag is cleared so the
+re-derived CFG stays canonical.
+
+When a try body loses *all* of its exception points, the dispatch block
+becomes unreachable but its handler still has normal out-edges into the
+join after the try.  :func:`remove_dead_handlers` excises the whole
+``RTry`` from the CST (keeping just the body), re-derives the CFG, and
+rebuilds every phi's operand list to match the surviving predecessors.
+"""
+
+from __future__ import annotations
+
+from repro.ssa.cst import (
+    RBasic,
+    RDoWhile,
+    RIf,
+    RLabeled,
+    RLoop,
+    RSeq,
+    RTry,
+    RWhile,
+    Region,
+    derive_cfg,
+    iter_regions,
+)
+from repro.ssa.ir import Block, Function
+
+
+def remove_stale_exception_edges(function: Function) -> int:
+    """Drop exception edges from blocks with no exception point."""
+    removed = 0
+    for region in iter_regions(function.cst):
+        if not isinstance(region, RBasic) or not region.exc:
+            continue
+        block = region.block
+        term = block.term
+        if term is not None and term.kind == "throw":
+            continue  # a throw is always an exception point
+        if block.instrs and block.instrs[-1].traps:
+            continue  # still ends with a trapping instruction
+        dispatch = block.exc_succ()
+        region.exc = False
+        if dispatch is None:
+            continue
+        index = dispatch.preds.index((block, "exc"))
+        del dispatch.preds[index]
+        block.succs.remove((dispatch, "exc"))
+        for phi in dispatch.phis:
+            operand = phi.operands[index]
+            del phi.operands[index]
+            if operand not in phi.operands:
+                operand.users.discard(phi)
+        removed += 1
+    return removed
+
+
+def remove_dead_handlers(function: Function) -> int:
+    """Drop try regions whose dispatch block became unreachable.
+
+    Iterates to a fixpoint: deleting an inner handler can remove the only
+    exception edges feeding an *outer* dispatch, orphaning it in turn."""
+    total = 0
+    while True:
+        removed = _remove_dead_handlers_once(function)
+        if not removed:
+            return total
+        total += removed
+
+
+def _remove_dead_handlers_once(function: Function) -> int:
+    removed = 0
+
+    def rewrite(region: Region) -> Region:
+        nonlocal removed
+        if isinstance(region, RSeq):
+            region.regions = [rewrite(child) for child in region.regions]
+            return region
+        if isinstance(region, RIf):
+            region.then_region = rewrite(region.then_region)
+            if region.else_region is not None:
+                region.else_region = rewrite(region.else_region)
+            return region
+        if isinstance(region, RWhile):
+            region.body = rewrite(region.body)
+            return region
+        if isinstance(region, RDoWhile):
+            region.body = rewrite(region.body)
+            return region
+        if isinstance(region, (RLoop, RLabeled)):
+            region.body = rewrite(region.body)
+            return region
+        if isinstance(region, RTry):
+            region.body = rewrite(region.body)
+            if not region.dispatch_block.preds:
+                removed += 1
+                return region.body  # the handler is dead code
+            region.handler = rewrite(region.handler)
+            return region
+        return region
+
+    function.cst = rewrite(function.cst)
+    if removed:
+        _rebuild_edges_and_phis(function)
+    return removed
+
+
+def _rebuild_edges_and_phis(function: Function) -> None:
+    """Re-derive the CFG from the (rewritten) CST and cut phi operands
+    whose predecessor edges disappeared."""
+    old_operands: dict[int, dict[tuple, object]] = {}
+    for block in function.blocks:
+        if not block.phis:
+            continue
+        table: dict[tuple, list] = {}
+        for index, (pred, kind) in enumerate(block.preds):
+            table[(pred.id, kind)] = [phi.operands[index]
+                                      for phi in block.phis]
+        old_operands[block.id] = table
+    derive_cfg(function)
+    reachable = {block.id for block in function.reachable_blocks()}
+    for block in function.blocks:
+        if block.id not in reachable or not block.phis:
+            continue
+        table = old_operands.get(block.id, {})
+        columns = []
+        for pred, kind in block.preds:
+            column = table.get((pred.id, kind))
+            if column is None:  # pragma: no cover - derivation mismatch
+                raise AssertionError(
+                    f"new edge B{pred.id}->B{block.id} has no phi data")
+            columns.append(column)
+        for position, phi in enumerate(block.phis):
+            phi.drop_operands()
+            for column in columns:
+                phi.add_operand(column[position])
+    # drop unreachable blocks entirely: they are no longer in the CST
+    function.blocks = [block for block in function.blocks
+                       if block.id in reachable]

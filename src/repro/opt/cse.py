@@ -1,0 +1,162 @@
+"""Common subexpression elimination with check elimination.
+
+A dominator-tree walk with a scoped value-number table (the paper
+performs CSE at the producer after SSA construction, Section 8).  Memory
+reads are keyed with their :class:`~repro.opt.memdep.MemDep` version, so
+loads are only merged when no store or call can intervene.
+
+Type separation makes *check elimination* a special case of CSE
+(Section 4): ``nullcheck v`` dominated by another ``nullcheck v`` of the
+same value always succeeds and is deleted; likewise ``idxcheck (a, i)``
+on the same array value and index (array sizes are immutable,
+Appendix A), and checked ``upcast``s of the same value and type.
+A ``nullcheck`` whose operand is a chain of downcasts from an
+intrinsically safe value (an allocation, ``this``, a caught exception,
+or an already-checked value) is replaced by a free downcast.
+
+Eliminating a dominated trapping check can leave its subblock without an
+exception point; :func:`repro.opt.cleanup.remove_stale_exception_edges`
+repairs the edges afterwards.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.opt.memdep import MemDep
+from repro.ssa.dominators import compute_dominators
+from repro.ssa import ir
+from repro.ssa.ir import Block, Downcast, Function, Instr, Plane
+
+
+def _value_key(instr: Instr, memdep: MemDep) -> Optional[tuple]:
+    """The CSE key of ``instr``; None when the instruction is not
+    eligible for elimination."""
+    if isinstance(instr, ir.Prim):
+        ids = [operand.id for operand in instr.operands]
+        if instr.operation.commutative:
+            ids.sort()
+        return ("prim", instr.operation.base, instr.operation.index,
+                tuple(ids))
+    if isinstance(instr, ir.RefCmp):
+        ids = sorted(operand.id for operand in instr.operands)
+        return ("refcmp", instr.is_eq, tuple(ids))
+    if isinstance(instr, ir.NullCheck):
+        return ("nullcheck", instr.operands[0].id)
+    if isinstance(instr, ir.IdxCheck):
+        return ("idxcheck", instr.array.id, instr.index.id)
+    if isinstance(instr, ir.Upcast):
+        return ("upcast", instr.target_type, instr.operands[0].id)
+    if isinstance(instr, ir.Downcast):
+        return ("downcast", instr.plane, instr.operands[0].id)
+    if isinstance(instr, ir.InstanceOf):
+        return ("instanceof", instr.target_type, instr.operands[0].id)
+    if isinstance(instr, ir.ArrayLen):
+        # array lengths are immutable: no memory version needed
+        return ("arraylen", instr.operands[0].id)
+    if isinstance(instr, ir.GetField):
+        return ("getfield", instr.field.qualified_name,
+                instr.operands[0].id, memdep.version_before(instr))
+    if isinstance(instr, ir.GetStatic):
+        return ("getstatic", instr.field.qualified_name,
+                memdep.version_before(instr))
+    if isinstance(instr, ir.GetElt):
+        return ("getelt", instr.operands[0].id, instr.operands[1].id,
+                memdep.version_before(instr))
+    return None
+
+
+def _safe_origin(value: Instr) -> Optional[Instr]:
+    """Walk downcast chains back to an intrinsically safe value."""
+    while isinstance(value, Downcast):
+        value = value.operands[0]
+    if value.plane is not None and value.plane.kind == "safe":
+        return value
+    return None
+
+
+class CseStats:
+    def __init__(self) -> None:
+        self.eliminated = 0
+        self.nullchecks_removed = 0
+        self.idxchecks_removed = 0
+        self.upcasts_removed = 0
+
+    def as_dict(self) -> dict:
+        return dict(self.__dict__)
+
+
+def run_cse(function: Function, partition_memory: bool = False) -> CseStats:
+    """Eliminate common subexpressions; returns statistics.
+
+    ``partition_memory`` enables the field analysis the paper proposes as
+    an improvement (Section 8): stores only invalidate loads of the same
+    field / array element type.
+    """
+    stats = CseStats()
+    memdep = MemDep(function, partitioned=partition_memory)
+    domtree = compute_dominators(function)
+    scopes: list[dict[tuple, Instr]] = [{}]
+
+    def lookup(key: tuple) -> Optional[Instr]:
+        for scope in reversed(scopes):
+            if key in scope:
+                return scope[key]
+        return None
+
+    def replace(block: Block, instr: Instr, replacement: Instr) -> None:
+        instr.replace_all_uses(replacement)
+        instr.drop_operands()
+        block.instrs.remove(instr)
+        stats.eliminated += 1
+        if isinstance(instr, ir.NullCheck):
+            stats.nullchecks_removed += 1
+        elif isinstance(instr, ir.IdxCheck):
+            stats.idxchecks_removed += 1
+        elif isinstance(instr, ir.Upcast):
+            stats.upcasts_removed += 1
+
+    def visit(block: Block) -> None:
+        scopes.append({})
+        for instr in list(block.instrs):
+            if isinstance(instr, ir.CaughtExc):
+                continue
+            # check elimination through statically safe origins
+            if isinstance(instr, ir.NullCheck):
+                origin = _safe_origin(instr.operands[0])
+                if origin is not None:
+                    substitute = _reuse_safe(block, instr, origin)
+                    if substitute is not None:
+                        replace(block, instr, substitute)
+                        continue
+            key = _value_key(instr, memdep)
+            if key is None:
+                continue
+            existing = lookup(key)
+            if existing is not None:
+                replace(block, instr, existing)
+            else:
+                scopes[-1][key] = instr
+        for child in sorted(domtree.children.get(block, ()),
+                            key=lambda b: b.id):
+            visit(child)
+        scopes.pop()
+
+    def _reuse_safe(block: Block, check: ir.NullCheck,
+                    origin: Instr) -> Optional[Instr]:
+        """Build (or reuse) the safe-plane value replacing ``check``."""
+        wanted = Plane.safe(check.ref_type)
+        if origin.plane == wanted:
+            return origin
+        key = ("downcast", wanted, origin.id)
+        existing = lookup(key)
+        if existing is not None:
+            return existing
+        cast = Downcast(wanted, origin)
+        cast.block = block
+        block.instrs.insert(block.instrs.index(check), cast)
+        scopes[-1][key] = cast
+        return cast
+
+    visit(function.entry)
+    return stats

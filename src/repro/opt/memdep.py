@@ -1,0 +1,210 @@
+"""Memory dependence via the ``Mem`` pseudo-variable (paper Section 8).
+
+SSA hides the ordering between field/array stores and loads.  The paper
+threads a special variable ``Mem`` through the program: every store and
+every call produces a new value of ``Mem``, loads take the current value
+as an extra (virtual) operand, and joins whose incoming ``Mem`` values
+differ introduce a ``Mem`` phi.  The mechanism exists only during
+optimisation and is never transmitted.
+
+This module computes, for every instruction, the *memory version* in
+effect just before it: two loads with equal keys and equal memory
+versions are guaranteed to see the same memory state on every path, which
+is exactly the licence CSE needs.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.ssa import ir
+from repro.ssa.ir import Block, Function, Instr
+
+#: instructions that define a new value of Mem
+_STORE_TYPES = (ir.SetField, ir.SetElt, ir.SetStatic, ir.Call)
+
+#: the partition every access belongs to in unified mode
+UNIFIED = ("mem",)
+
+
+def _clobbers_memory(instr: Instr) -> bool:
+    return isinstance(instr, _STORE_TYPES)
+
+
+def partition_of(instr: Instr):
+    """The memory partition an access touches (field analysis, Section 8:
+    "partitioning Mem by field name"; arrays partition by element type as
+    in type-based alias analysis [12])."""
+    if isinstance(instr, (ir.GetField, ir.SetField)):
+        return ("field", instr.field.qualified_name)
+    if isinstance(instr, (ir.GetStatic, ir.SetStatic)):
+        return ("field", instr.field.qualified_name)
+    if isinstance(instr, (ir.GetElt, ir.SetElt)):
+        return ("array", str(instr.array_type.element))
+    return None
+
+
+def _clobbers_partition(instr: Instr, partition) -> bool:
+    if isinstance(instr, ir.Call):
+        return True  # no interprocedural analysis: calls clobber all
+    if not isinstance(instr, _STORE_TYPES):
+        return False
+    return partition_of(instr) == partition
+
+
+class MemDep:
+    """Memory versions for one function.
+
+    Versions are opaque integers; equality means "provably the same
+    memory state".  Joins are handled optimistically with a fixpoint:
+    a block whose predecessors all agree inherits their version, any
+    disagreement mints a fresh phi version for that block.
+    """
+
+    def __init__(self, function: Function, partitioned: bool = False):
+        self.function = function
+        #: True => field analysis: separate Mem per field / element type
+        self.partitioned = partitioned
+        self.entry_version: dict[int, int] = {}
+        self.exit_version: dict[int, int] = {}
+        #: version in effect just before each instruction
+        self.before: dict[int, int] = {}
+        self._next = 1
+        self._phi_versions: dict[int, int] = {}
+        self._store_versions: dict[int, int] = {}
+        if partitioned:
+            self._compute_partitioned()
+        else:
+            self._compute()
+
+    def _fresh(self) -> int:
+        self._next += 1
+        return self._next
+
+    def _phi_version(self, block: Block) -> int:
+        version = self._phi_versions.get(block.id)
+        if version is None:
+            version = self._fresh()
+            self._phi_versions[block.id] = version
+        return version
+
+    def _store_version(self, instr: Instr) -> int:
+        version = self._store_versions.get(instr.id)
+        if version is None:
+            version = self._fresh()
+            self._store_versions[instr.id] = version
+        return version
+
+    def _compute(self) -> None:
+        blocks = self.function.reachable_blocks()
+        entry = self.function.entry
+        self.entry_version[entry.id] = 0
+        changed = True
+        while changed:
+            changed = False
+            for block in blocks:
+                if block is entry:
+                    incoming: Optional[int] = 0
+                else:
+                    seen: set[int] = set()
+                    unknown = False
+                    for pred, _kind in block.preds:
+                        version = self.exit_version.get(pred.id)
+                        if version is None:
+                            unknown = True
+                        else:
+                            seen.add(version)
+                    if not seen:
+                        continue  # all preds unknown so far
+                    if len(seen) == 1 and not unknown:
+                        incoming = seen.pop()
+                    elif len(seen) == 1 and unknown:
+                        # optimistic: assume agreement until proven wrong
+                        incoming = next(iter(seen))
+                    else:
+                        incoming = self._phi_version(block)
+                if self.entry_version.get(block.id) != incoming:
+                    self.entry_version[block.id] = incoming
+                    changed = True
+                current = incoming
+                for instr in block.all_instrs():
+                    if _clobbers_memory(instr):
+                        current = self._store_version(instr)
+                if self.exit_version.get(block.id) != current:
+                    self.exit_version[block.id] = current
+                    changed = True
+        # final per-instruction pass
+        for block in blocks:
+            current = self.entry_version.get(block.id, 0)
+            for instr in block.all_instrs():
+                self.before[instr.id] = current
+                if _clobbers_memory(instr):
+                    current = self._store_version(instr)
+
+    def version_before(self, instr: Instr) -> int:
+        return self.before.get(instr.id, 0)
+
+    # ------------------------------------------------------------------
+    # partitioned (field-analysis) mode
+
+    def _compute_partitioned(self) -> None:
+        """One version lattice per partition; loads record the version of
+        their own partition only."""
+        partitions = set()
+        blocks = self.function.reachable_blocks()
+        for block in blocks:
+            for instr in block.all_instrs():
+                partition = partition_of(instr)
+                if partition is not None:
+                    partitions.add(partition)
+        for partition in sorted(partitions):
+            self._compute_one_partition(blocks, partition)
+
+    def _compute_one_partition(self, blocks, partition) -> None:
+        entry_version: dict[int, int] = {}
+        exit_version: dict[int, int] = {}
+        entry = self.function.entry
+        entry_version[entry.id] = 0
+        changed = True
+        while changed:
+            changed = False
+            for block in blocks:
+                if block is entry:
+                    incoming: Optional[int] = 0
+                else:
+                    seen: set[int] = set()
+                    for pred, _kind in block.preds:
+                        version = exit_version.get(pred.id)
+                        if version is not None:
+                            seen.add(version)
+                    if not seen:
+                        continue
+                    if len(seen) == 1:
+                        incoming = next(iter(seen))
+                    else:
+                        incoming = self._phi_version_for(block, partition)
+                if entry_version.get(block.id) != incoming:
+                    entry_version[block.id] = incoming
+                    changed = True
+                current = incoming
+                for instr in block.all_instrs():
+                    if _clobbers_partition(instr, partition):
+                        current = self._store_version(instr)
+                if exit_version.get(block.id) != current:
+                    exit_version[block.id] = current
+                    changed = True
+        for block in blocks:
+            current = entry_version.get(block.id, 0)
+            for instr in block.all_instrs():
+                if partition_of(instr) == partition:
+                    self.before[instr.id] = current
+                if _clobbers_partition(instr, partition):
+                    current = self._store_version(instr)
+
+    def _phi_version_for(self, block: Block, partition) -> int:
+        key = hash((block.id, partition))
+        version = self._phi_versions.get(key)
+        if version is None:
+            version = self._fresh()
+            self._phi_versions[key] = version
+        return version

@@ -1,0 +1,44 @@
+"""Producer-side optimisation pipeline (paper Section 8).
+
+Default order: constant propagation, CSE (with check elimination over the
+``Mem``-threaded memory dependence), dead-code elimination, then
+exception-edge cleanup.  Each pass can be toggled for the ablation study
+(experiment E4)."""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+from repro.opt.cleanup import remove_dead_handlers, \
+    remove_stale_exception_edges
+from repro.opt.constprop import run_constprop
+from repro.opt.cse import run_cse
+from repro.opt.dce import run_dce
+from repro.opt.safephi import run_safe_phi_propagation
+
+ALL_PASSES = ("constprop", "safephi", "cse", "dce")
+
+
+def optimize_function(function, passes: Optional[Iterable[str]] = None) -> dict:
+    """Run the selected passes on one function; returns statistics."""
+    selected = tuple(passes) if passes is not None else ALL_PASSES
+    stats: dict = {"function": function.name}
+    if "constprop" in selected:
+        stats["constprop_folded"] = run_constprop(function)
+    if "safephi" in selected:
+        stats["safephi_promoted"] = run_safe_phi_propagation(function)
+    if "cse" in selected or "cse_fields" in selected:
+        cse_stats = run_cse(function,
+                            partition_memory="cse_fields" in selected)
+        stats.update({f"cse_{k}": v for k, v in cse_stats.as_dict().items()})
+    if "dce" in selected:
+        stats["dce_removed"] = run_dce(function)
+    stats["stale_exc_edges"] = remove_stale_exception_edges(function)
+    stats["dead_handlers"] = remove_dead_handlers(function)
+    return stats
+
+
+def optimize_module(module, passes: Optional[Iterable[str]] = None) -> list[dict]:
+    """Optimise every function of a module; returns per-function stats."""
+    return [optimize_function(function, passes)
+            for function in module.functions.values()]

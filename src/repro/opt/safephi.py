@@ -1,0 +1,156 @@
+"""Safety propagation across phi-joins (paper Section 4).
+
+"The beauty of this approach is that it enables the transport of
+null-checked and index-checked values across phi-joins."  Construction
+places variable phis on the unsafe ``ref`` planes (a variable's declared
+type); when every value reaching such a phi -- through arbitrarily nested
+phi cycles -- is a downcast of an intrinsically safe value (an
+allocation, ``this``, a caught exception, or an already-null-checked
+value), the merged value is provably non-null, so the phi can live on the
+``safe-ref`` plane.  Null checks of the phi's value then fall to ordinary
+check elimination.
+
+Example::
+
+    Node n = new Node();            // safe origin
+    while (...) {
+        use(n.field);               // nullcheck(phi) -- removable
+        if (...) n = new Node();    // safe origin again
+    }
+
+Loop-header phis and their feeding join phis form cycles, so eligibility
+is computed optimistically over the whole candidate set (greatest
+fixpoint): start from all ref phis and discard any whose operand is
+neither a safe origin nor another surviving candidate.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.ssa.ir import Downcast, Function, Instr, Phi, Plane
+
+
+def _chain_base(value: Instr) -> Instr:
+    """Strip downcast chains."""
+    while isinstance(value, Downcast):
+        value = value.operands[0]
+    return value
+
+
+def _safe_origin(value: Instr) -> Optional[Instr]:
+    base = _chain_base(value)
+    if base.plane is not None and base.plane.kind == "safe":
+        return base
+    return None
+
+
+def _insertion_point(home, origin) -> Optional[int]:
+    """Index in ``home.instrs`` where a cast of ``origin`` may go, or None
+    when no spot preserves both dominance and the trapping-tail discipline
+    of try subblocks."""
+    if origin in home.instrs:
+        index = home.instrs.index(origin) + 1
+    else:
+        index = 0  # origin is a phi/param defined before all instrs
+    tail_traps = bool(home.instrs) and home.instrs[-1].traps
+    if tail_traps and index > len(home.instrs) - 1:
+        return None  # would displace the subblock's exception point
+    return index
+
+
+def run_safe_phi_propagation(function: Function) -> int:
+    """Promote provably-non-null ref phis to safe planes; returns the
+    number of promoted phis."""
+    candidates: set[Phi] = set()
+    for block in function.reachable_blocks():
+        for phi in block.phis:
+            if phi.plane.kind == "ref":
+                candidates.add(phi)
+
+    # greatest fixpoint: discard phis with any unsafe incoming value
+    changed = True
+    while changed:
+        changed = False
+        for phi in list(candidates):
+            for operand in phi.operands:
+                base = _chain_base(operand)
+                if base is phi:
+                    continue  # self loop through the back edge
+                if isinstance(base, Phi) and base in candidates:
+                    continue
+                if _safe_origin(operand) is not None:
+                    continue
+                candidates.discard(phi)
+                changed = True
+                break
+
+    if not candidates:
+        return 0
+
+    # validate widening-cast placements before mutating anything
+    plans: dict[Phi, list] = {}
+    for phi in list(candidates):
+        plan = _plan_for(phi, candidates)
+        if plan is None:
+            # placement impossible: drop and restart the fixpoint
+            candidates.discard(phi)
+            return run_safe_phi_propagation(function) if candidates \
+                else 0
+        plans[phi] = plan
+
+    # commit: change planes and give existing users a compensating cast
+    for phi in candidates:
+        ref_plane = phi.plane
+        compensation = Downcast(ref_plane, phi)
+        compensation.block = phi.block
+        phi.replace_all_uses(compensation)
+        compensation.set_operand(0, phi)
+        phi.block.instrs.insert(0, compensation)
+        phi.plane = Plane.safe(ref_plane.type)
+
+    # rewire operands per the precomputed plans
+    for phi, plan in plans.items():
+        safe_plane = phi.plane
+        for index, action in plan:
+            if action[0] == "direct":
+                phi.set_operand(index, action[1])
+            elif action[0] == "self":
+                phi.set_operand(index, phi)
+            else:  # ("cast", base, home)
+                _tag, base, home = action
+                cast = Downcast(safe_plane, base)
+                cast.block = home
+                position = _insertion_point(home, base)
+                assert position is not None
+                home.instrs.insert(position, cast)
+                phi.set_operand(index, cast)
+    return len(candidates)
+
+
+def _plan_for(phi: Phi, candidates: set) -> Optional[list]:
+    safe_plane = Plane.safe(phi.plane.type)
+    plan = []
+    for index, operand in enumerate(phi.operands):
+        base = _chain_base(operand)
+        if base is phi:
+            plan.append((index, ("self",)))
+            continue
+        if isinstance(base, Phi) and base in candidates:
+            base_safe = Plane.safe(base.plane.type)
+            if base_safe == safe_plane:
+                plan.append((index, ("direct", base)))
+            else:
+                # widening cast placed at the head of the base's block
+                plan.append((index, ("cast", base, base.block)))
+            continue
+        origin = _safe_origin(operand)
+        assert origin is not None  # guaranteed by the fixpoint
+        if origin.plane == safe_plane:
+            plan.append((index, ("direct", origin)))
+            continue
+        home = origin.block if origin.block is not None else phi.block
+        if _insertion_point(home, origin) is None:
+            return None
+        plan.append((index, ("cast", origin, home)))
+    return plan

@@ -1,0 +1,75 @@
+"""Compilation pipeline: source text to SafeTSA module (and the bytecode
+baseline)."""
+
+from __future__ import annotations
+
+from repro.frontend.parser import parse_compilation_unit
+from repro.frontend.semantics import analyze
+from repro.ssa.construction import build_function
+from repro.ssa.ir import Module
+from repro.typesys.table import TypeTable
+from repro.typesys.types import ArrayType, Type
+from repro.typesys.world import World
+from repro.uast.builder import UastBuilder
+
+
+def compile_to_module(source: str, *, optimize: bool = False,
+                      prune_phis: bool = True, eager_phis: bool = True,
+                      filename: str = "<source>") -> Module:
+    """Full producer pipeline: parse, check, lower, build SSA, optimise."""
+    unit = parse_compilation_unit(source, filename)
+    world = analyze(unit)
+    table = TypeTable(world)
+    module = Module(world, table)
+    uast_builder = UastBuilder(world)
+    for decl in unit.classes:
+        module.classes.append(decl.info)
+        table.declare_class(decl.info)
+        for umethod in uast_builder.build_class(decl):
+            function = build_function(world, decl.info, umethod,
+                                      eager_phis=eager_phis)
+            module.add_function(function)
+    _intern_used_types(module)
+    if prune_phis:
+        from repro.ssa.phi_pruning import prune_dead_phis
+        for function in module.functions.values():
+            prune_dead_phis(function)
+    if optimize:
+        from repro.opt.pipeline import optimize_module
+        optimize_module(module)
+    return module
+
+
+def _intern_used_types(module: Module) -> None:
+    """Make sure every type referenced by an instruction is in the table."""
+    table = module.type_table
+    for function in module.functions.values():
+        for block in function.blocks:
+            for instr in block.all_instrs():
+                plane = instr.plane
+                if plane is not None and plane.kind != "safeidx":
+                    _intern_type(table, plane.type)
+                for attr in ("target_type", "ref_type", "array_type",
+                             "plane_type"):
+                    value = getattr(instr, attr, None)
+                    if isinstance(value, Type):
+                        _intern_type(table, value)
+
+
+def _intern_type(table: TypeTable, type: Type) -> None:
+    if type not in table:
+        table.intern(type)
+    if isinstance(type, ArrayType):
+        _intern_type(table, type.element)
+
+
+def compile_to_classfiles(source: str, *, filename: str = "<source>"):
+    """Baseline pipeline: parse, check, lower, emit stack bytecode."""
+    from repro.jvm.codegen import compile_unit
+    unit = parse_compilation_unit(source, filename)
+    world = analyze(unit)
+    uast_builder = UastBuilder(world)
+    per_class = {}
+    for decl in unit.classes:
+        per_class[decl.info] = uast_builder.build_class(decl)
+    return compile_unit(world, per_class)

@@ -1,0 +1,357 @@
+"""Control Structure Tree (CST) and canonical CFG derivation.
+
+SafeTSA transmits program structure as a CST rather than explicit edges
+(paper Section 7).  The consumer re-derives the control-flow graph -- the
+edge set, the canonical predecessor order that phi operands align with,
+and the exception edges of try regions -- by the *same* deterministic walk
+the producer used.  :func:`derive_cfg` is that walk; both the encoder and
+the decoder call it, so producer and consumer can never disagree.
+
+Region grammar::
+
+    Region := RBasic(block [, exc])         leaf; block.term routes control
+            | RSeq(regions...)
+            | RIf(cond_block, then, else?)  cond_block ends with a branch
+            | RWhile(header_block, body)    header ends with a branch
+            | RDoWhile(body, cond_block)    condition at the bottom
+            | RLoop(body)                   infinite loop; exits via break
+            | RLabeled(body)                break target
+            | RTry(body, dispatch_block, handler)
+
+Leaf terminators (``Term.kind``): ``fall``, ``return``, ``throw``,
+``break`` (depth = enclosing break targets to skip), ``continue``
+(depth = enclosing loops to skip).  Terminator kinds are structural --
+they are part of the CST encoding -- while their value operands are
+filled in when block bodies are decoded.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.ssa.ir import Block
+
+
+class Region:
+    __slots__ = ()
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<{type(self).__name__}>"
+
+
+class RBasic(Region):
+    __slots__ = ("block", "exc")
+
+    def __init__(self, block: Block, exc: bool = False):
+        self.block = block
+        #: True when this block has an exception edge to the enclosing
+        #: try's dispatch block (its last instruction traps)
+        self.exc = exc
+
+
+class RSeq(Region):
+    __slots__ = ("regions",)
+
+    def __init__(self, regions: list[Region]):
+        self.regions = regions
+
+
+class RIf(Region):
+    __slots__ = ("cond_block", "then_region", "else_region")
+
+    def __init__(self, cond_block: Block, then_region: Region,
+                 else_region: Optional[Region]):
+        self.cond_block = cond_block
+        self.then_region = then_region
+        self.else_region = else_region
+
+
+class RWhile(Region):
+    __slots__ = ("header", "body")
+
+    def __init__(self, header: Block, body: Region):
+        self.header = header
+        self.body = body
+
+
+class RDoWhile(Region):
+    __slots__ = ("body", "cond_block")
+
+    def __init__(self, body: Region, cond_block: Block):
+        self.body = body
+        self.cond_block = cond_block
+
+
+class RLoop(Region):
+    __slots__ = ("body",)
+
+    def __init__(self, body: Region):
+        self.body = body
+
+
+class RLabeled(Region):
+    __slots__ = ("body",)
+
+    def __init__(self, body: Region):
+        self.body = body
+
+
+class RTry(Region):
+    __slots__ = ("body", "dispatch_block", "handler")
+
+    def __init__(self, body: Region, dispatch_block: Block, handler: Region):
+        self.body = body
+        self.dispatch_block = dispatch_block
+        self.handler = handler
+
+
+class CstError(Exception):
+    """Raised when a CST is structurally malformed."""
+
+
+Edge = tuple[Block, str]  # (source block, 'norm' | 'exc')
+
+
+class _Deriver:
+    """Performs the canonical CFG-derivation walk."""
+
+    def __init__(self) -> None:
+        #: per break target: list collecting dangling exit edges
+        self.break_stack: list[list[Edge]] = []
+        #: per loop: the block a continue jumps to
+        self.continue_stack: list[Block] = []
+        #: current exception dispatch block (None outside try bodies)
+        self.exc_stack: list[Optional[Block]] = [None]
+
+    # ------------------------------------------------------------------
+
+    def connect(self, edges: list[Edge], target: Block) -> None:
+        for source, kind in edges:
+            target.add_pred(source, kind)
+
+    def region(self, region: Region, incoming: list[Edge]) -> list[Edge]:
+        """Wire ``incoming`` into ``region``; return its dangling exits."""
+        if isinstance(region, RBasic):
+            return self._basic(region, incoming)
+        if isinstance(region, RSeq):
+            edges = incoming
+            for child in region.regions:
+                edges = self.region(child, edges)
+            return edges
+        if isinstance(region, RIf):
+            return self._if(region, incoming)
+        if isinstance(region, RWhile):
+            return self._while(region, incoming)
+        if isinstance(region, RDoWhile):
+            return self._do_while(region, incoming)
+        if isinstance(region, RLoop):
+            return self._loop(region, incoming)
+        if isinstance(region, RLabeled):
+            self.break_stack.append([])
+            out = self.region(region.body, incoming)
+            breaks = self.break_stack.pop()
+            return out + breaks
+        if isinstance(region, RTry):
+            return self._try(region, incoming)
+        raise CstError(f"unknown region {type(region).__name__}")
+
+    # ------------------------------------------------------------------
+
+    def _basic(self, region: RBasic, incoming: list[Edge]) -> list[Edge]:
+        block = region.block
+        self.connect(incoming, block)
+        if region.exc:
+            dispatch = self.exc_stack[-1]
+            if dispatch is None:
+                raise CstError("exception edge outside of a try body")
+            dispatch.add_pred(block, "exc")
+        term = block.term
+        if term is None:
+            raise CstError(f"block B{block.id} has no terminator")
+        if term.kind == "fall":
+            return [(block, "norm")]
+        if term.kind in ("return", "throw", "unreachable"):
+            return []
+        if term.kind == "break":
+            if term.depth >= len(self.break_stack):
+                raise CstError("break depth exceeds nesting")
+            self.break_stack[-1 - term.depth].append((block, "norm"))
+            return []
+        if term.kind == "continue":
+            if term.depth >= len(self.continue_stack):
+                raise CstError("continue depth exceeds nesting")
+            target = self.continue_stack[-1 - term.depth]
+            target.add_pred(block, "norm")
+            return []
+        raise CstError(f"bad leaf terminator {term.kind!r}")
+
+    def _if(self, region: RIf, incoming: list[Edge]) -> list[Edge]:
+        cond = region.cond_block
+        self.connect(incoming, cond)
+        self._require_branch(cond)
+        then_out = self.region(region.then_region, [(cond, "norm")])
+        if region.else_region is not None:
+            else_out = self.region(region.else_region, [(cond, "norm")])
+        else:
+            else_out = [(cond, "norm")]
+        return then_out + else_out
+
+    def _while(self, region: RWhile, incoming: list[Edge]) -> list[Edge]:
+        header = region.header
+        self.connect(incoming, header)
+        self._require_branch(header)
+        self.break_stack.append([])
+        self.continue_stack.append(header)
+        body_out = self.region(region.body, [(header, "norm")])
+        self.continue_stack.pop()
+        breaks = self.break_stack.pop()
+        self.connect(body_out, header)  # back edges
+        return [(header, "norm")] + breaks
+
+    def _do_while(self, region: RDoWhile, incoming: list[Edge]) -> list[Edge]:
+        cond = region.cond_block
+        self.break_stack.append([])
+        self.continue_stack.append(cond)
+        # the body entry's preds: incoming edges first, back edge last
+        body_out = self.region(region.body, incoming)
+        self.continue_stack.pop()
+        breaks = self.break_stack.pop()
+        self.connect(body_out, cond)
+        self._require_branch(cond)
+        entry = _entry_block(region.body)
+        entry.add_pred(cond, "norm")  # the back edge (true branch)
+        return [(cond, "norm")] + breaks
+
+    def _loop(self, region: RLoop, incoming: list[Edge]) -> list[Edge]:
+        entry = _entry_block(region.body)
+        self.break_stack.append([])
+        self.continue_stack.append(entry)
+        body_out = self.region(region.body, incoming)
+        self.continue_stack.pop()
+        breaks = self.break_stack.pop()
+        self.connect(body_out, entry)  # back edges
+        return breaks
+
+    def _try(self, region: RTry, incoming: list[Edge]) -> list[Edge]:
+        self.exc_stack.append(region.dispatch_block)
+        body_out = self.region(region.body, incoming)
+        self.exc_stack.pop()
+        handler_entry = _entry_block(region.handler)
+        if handler_entry is not region.dispatch_block:
+            raise CstError("handler region must start at the dispatch block")
+        handler_out = self.region(region.handler, [])
+        return body_out + handler_out
+
+    @staticmethod
+    def _require_branch(block: Block) -> None:
+        if block.term is None or block.term.kind != "branch":
+            raise CstError(f"block B{block.id} must end with a branch")
+
+
+def _entry_block(region: Region) -> Block:
+    """The leftmost block of a region (its entry)."""
+    while True:
+        if isinstance(region, RBasic):
+            return region.block
+        if isinstance(region, RSeq):
+            if not region.regions:
+                raise CstError("empty sequence has no entry block")
+            region = region.regions[0]
+        elif isinstance(region, RIf):
+            return region.cond_block
+        elif isinstance(region, RWhile):
+            return region.header
+        elif isinstance(region, (RDoWhile, RLoop, RLabeled)):
+            region = region.body
+        elif isinstance(region, RTry):
+            region = region.body
+        else:
+            raise CstError(f"unknown region {type(region).__name__}")
+
+
+def derive_cfg(function) -> None:
+    """(Re)compute the CFG of ``function`` from its CST.
+
+    Clears any existing edges, then performs the canonical walk.  Blocks
+    whose dangling exits reach the end of the method must terminate with
+    ``return`` (void methods get their implicit return during
+    construction), so leftover edges are an error.
+    """
+    for block in function.blocks:
+        block.preds = []
+        block.succs = []
+    deriver = _Deriver()
+    leftovers = deriver.region(function.cst, [])
+    if leftovers:
+        blocks = ", ".join(f"B{b.id}" for b, _ in leftovers)
+        raise CstError(
+            f"control falls off the end of {function.name} from {blocks}")
+
+
+def map_exception_contexts(root: Region) -> dict[int, Optional[Block]]:
+    """block id -> enclosing try's dispatch block (None outside any try).
+
+    Shared by the verifier and the decoder to agree on which blocks may
+    contain exception points.
+    """
+    contexts: dict[int, Optional[Block]] = {}
+
+    def walk(region: Region, dispatch: Optional[Block]) -> None:
+        if isinstance(region, RBasic):
+            contexts[region.block.id] = dispatch
+        elif isinstance(region, RSeq):
+            for child in region.regions:
+                walk(child, dispatch)
+        elif isinstance(region, RIf):
+            contexts[region.cond_block.id] = dispatch
+            walk(region.then_region, dispatch)
+            if region.else_region is not None:
+                walk(region.else_region, dispatch)
+        elif isinstance(region, RWhile):
+            contexts[region.header.id] = dispatch
+            walk(region.body, dispatch)
+        elif isinstance(region, RDoWhile):
+            contexts[region.cond_block.id] = dispatch
+            walk(region.body, dispatch)
+        elif isinstance(region, (RLoop, RLabeled)):
+            walk(region.body, dispatch)
+        elif isinstance(region, RTry):
+            walk(region.body, region.dispatch_block)
+            walk(region.handler, dispatch)
+
+    walk(root, None)
+    return contexts
+
+
+def iter_regions(region: Region):
+    """Pre-order iteration over all regions of a CST."""
+    stack = [region]
+    while stack:
+        current = stack.pop()
+        yield current
+        if isinstance(current, RSeq):
+            stack.extend(reversed(current.regions))
+        elif isinstance(current, RIf):
+            if current.else_region is not None:
+                stack.append(current.else_region)
+            stack.append(current.then_region)
+        elif isinstance(current, (RWhile, RDoWhile, RLoop, RLabeled)):
+            stack.append(current.body)
+        elif isinstance(current, RTry):
+            stack.append(current.handler)
+            stack.append(current.body)
+
+
+def cst_blocks(region: Region) -> list[Block]:
+    """All blocks owned by a CST, in walk order."""
+    blocks: list[Block] = []
+    for node in iter_regions(region):
+        if isinstance(node, RBasic):
+            blocks.append(node.block)
+        elif isinstance(node, RIf):
+            blocks.append(node.cond_block)
+        elif isinstance(node, RWhile):
+            blocks.append(node.header)
+        elif isinstance(node, RDoWhile):
+            blocks.append(node.cond_block)
+    return blocks

@@ -1,0 +1,49 @@
+"""Briggs-style dead-phi pruning (paper Section 7).
+
+The eager Brandis/Moessenboeck construction inserts a phi at every join
+for every variable assigned in the joined region; many of these merge
+values that are never subsequently used.  Following Briggs et al. [7] the
+paper removes them with a liveness-based dead-code elimination, reporting
+an average 31% reduction in phi instructions.  Here a phi is *live* when
+it is reachable, through phi operands, from any non-phi user; everything
+else is removed.
+"""
+
+from __future__ import annotations
+
+from repro.ssa.ir import Function, Phi
+
+
+def prune_dead_phis(function: Function) -> int:
+    """Remove dead phis from ``function``; returns the number removed."""
+    live: set[int] = set()
+    worklist = []
+    for block in function.blocks:
+        for instr in block.instrs:
+            for operand in instr.operands:
+                if isinstance(operand, Phi) and operand.id not in live:
+                    live.add(operand.id)
+                    worklist.append(operand)
+        if block.term is not None and isinstance(block.term.value, Phi):
+            phi = block.term.value
+            if phi.id not in live:
+                live.add(phi.id)
+                worklist.append(phi)
+    while worklist:
+        phi = worklist.pop()
+        for operand in phi.operands:
+            if isinstance(operand, Phi) and operand.id not in live:
+                live.add(operand.id)
+                worklist.append(operand)
+    removed = 0
+    for block in function.blocks:
+        keep = []
+        for phi in block.phis:
+            if phi.id in live:
+                keep.append(phi)
+            else:
+                phi.drop_operands()
+                phi.removed = True
+                removed += 1
+        block.phis = keep
+    return removed

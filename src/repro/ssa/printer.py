@@ -1,0 +1,43 @@
+"""Disassembler-style dump of SafeTSA functions (debugging, CLI, tests)."""
+
+from __future__ import annotations
+
+from repro.ssa.ir import Block, Function, Module
+
+
+def format_block(block: Block) -> str:
+    lines = [f"B{block.id}:"]
+    preds = ", ".join(f"B{p.id}{'!' if kind == 'exc' else ''}"
+                      for p, kind in block.preds)
+    if preds:
+        lines.append(f"    ; preds: {preds}")
+    for instr in block.phis:
+        lines.append(f"    v{instr.id} = {instr.describe()}")
+    for instr in block.instrs:
+        if instr.plane is None:
+            lines.append(f"    {instr.describe()}")
+        else:
+            lines.append(f"    v{instr.id} = {instr.describe()}")
+    term = block.term
+    if term is not None:
+        extra = f" v{term.value.id}" if term.value is not None else ""
+        if term.kind in ("break", "continue"):
+            extra += f" depth={term.depth}"
+        lines.append(f"    {term.kind}{extra}")
+    return "\n".join(lines)
+
+
+def format_function(function: Function) -> str:
+    lines = [f"function {function.name} "
+             f"({len(function.blocks)} blocks, "
+             f"{function.instruction_count()} instrs)"]
+    for block in function.blocks:
+        lines.append(format_block(block))
+    return "\n".join(lines)
+
+
+def format_module(module: Module) -> str:
+    parts = []
+    for function in module.functions.values():
+        parts.append(format_function(function))
+    return "\n\n".join(parts)

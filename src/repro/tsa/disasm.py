@@ -1,0 +1,132 @@
+"""Disassembly in the paper's notation (Figures 4 and 9).
+
+Where :mod:`repro.ssa.printer` shows the in-memory SSA with global value
+ids, this view renders what is actually *transmitted*: every instruction
+deposits into the next register of its implied plane, and every operand
+is a dominator-relative ``(l-r)`` pair -- ``l`` levels up the dominator
+tree, register ``r`` on the instruction's plane there.  Phi operands use
+``l = 0`` for the corresponding predecessor block.
+
+Example output::
+
+    B0:
+      boolean r0 <- const True
+      int     r0 <- const 1
+      branch (0-0)
+    B2:
+      int     r0 <- primitive int.neg (1-0)
+      fall
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.ssa import ir
+from repro.ssa.ir import Block, Function, Instr, Module, Phi
+from repro.tsa.layout import FunctionLayout
+
+
+def _plane_label(plane) -> str:
+    if plane is None:
+        return ""
+    if plane.kind == "prim":
+        return str(plane.key)
+    if plane.kind == "ref":
+        return _short(str(plane.key))
+    if plane.kind == "safe":
+        return f"safe-{_short(str(plane.key))}"
+    return f"safe-index({_short(str(plane.key.type))})"
+
+
+def _short(name: str) -> str:
+    return name.rsplit(".", 1)[-1]
+
+
+class _Disassembler:
+    def __init__(self, function: Function):
+        self.function = function
+        self.layout = FunctionLayout(function)
+
+    def _ref(self, use_block: Block, operand: Instr) -> str:
+        level, register = self.layout.ref_of(use_block, operand)
+        return f"({level}-{register})"
+
+    def _phi_ref(self, pred: Block, operand: Instr) -> str:
+        level, register = self.layout.phi_ref(pred, operand)
+        return f"({level}-{register})"
+
+    def _operands(self, block: Block, instr: Instr) -> str:
+        return " ".join(self._ref(block, op) for op in instr.operands)
+
+    def _mnemonic(self, instr: Instr) -> str:
+        if isinstance(instr, ir.Prim):
+            return f"{instr.opcode} {instr.operation.qualified_name}"
+        if isinstance(instr, ir.Call):
+            return f"{instr.opcode} {_short(instr.base.name)}" \
+                f".{instr.method.name}"
+        if isinstance(instr, (ir.GetField, ir.SetField)):
+            return f"{instr.opcode} {_short(instr.base.name)}" \
+                f".{instr.field.name}"
+        if isinstance(instr, (ir.GetStatic, ir.SetStatic)):
+            return f"{instr.opcode} " \
+                f"{_short(instr.field.declaring.name)}.{instr.field.name}"
+        if isinstance(instr, ir.Const):
+            return f"const {instr.value!r}"
+        if isinstance(instr, ir.Param):
+            return f"param {instr.index}"
+        if isinstance(instr, (ir.Upcast, ir.InstanceOf)):
+            return f"{instr.opcode} {_short(str(instr.target_type))}"
+        if isinstance(instr, (ir.NewArray, ir.ArrayLen, ir.GetElt,
+                              ir.SetElt)):
+            return f"{instr.opcode} {_short(str(instr.array_type))}"
+        if isinstance(instr, ir.New):
+            return f"new {_short(instr.class_info.name)}"
+        if isinstance(instr, ir.NullCheck):
+            return f"nullcheck {_short(str(instr.ref_type))}"
+        return instr.opcode
+
+    def format(self) -> str:
+        lines = [f"method {self.function.name}"]
+        width = 18
+        for block in self.layout.order:
+            lines.append(f"B{block.id}:")
+            for phi in block.phis:
+                label = _plane_label(phi.plane)
+                _, _, register = self.layout.position[phi.id]
+                refs = " ".join(
+                    self._phi_ref(pred, operand)
+                    for operand, (pred, _k) in zip(phi.operands,
+                                                   block.preds))
+                lines.append(f"  {label:<{width}} r{register} <- "
+                             f"phi {refs}")
+            for instr in block.instrs:
+                operands = self._operands(block, instr)
+                mnemonic = self._mnemonic(instr)
+                body = f"{mnemonic} {operands}".rstrip()
+                if instr.plane is None:
+                    lines.append(f"  {'':<{width}} {body}")
+                else:
+                    label = _plane_label(instr.plane)
+                    _, _, register = self.layout.position[instr.id]
+                    lines.append(f"  {label:<{width}} r{register} <- "
+                                 f"{body}")
+            term = block.term
+            if term is not None:
+                suffix = ""
+                if term.value is not None:
+                    suffix = " " + self._ref(block, term.value)
+                elif term.kind in ("break", "continue"):
+                    suffix = f" depth={term.depth}"
+                lines.append(f"  {'':<{width}} {term.kind}{suffix}")
+        return "\n".join(lines)
+
+
+def format_function_lr(function: Function) -> str:
+    """Disassemble one function in (l-r) notation."""
+    return _Disassembler(function).format()
+
+
+def format_module_lr(module: Module) -> str:
+    return "\n\n".join(format_function_lr(f)
+                       for f in module.functions.values())

@@ -1,0 +1,373 @@
+"""SafeTSA verification.
+
+The paper's central claim is that most of this never needs to run: the
+wire format cannot *represent* an out-of-range ``(l, r)`` reference or a
+wrong-plane operand, so consumer verification reduces to per-block,
+per-plane counters (Section 9).  This module implements the full property
+set explicitly so that
+
+* hand-constructed (attack) modules can be checked,
+* optimisation passes can assert they preserve well-formedness, and
+* the cost of SafeTSA verification can be measured against JVM bytecode
+  dataflow verification (experiment E5).
+
+Checked properties:
+
+1. the CST derives a consistent CFG (structure);
+2. every operand's definition dominates its use -- same-block uses must
+   be defined earlier (referential integrity, Section 2);
+3. every operand lives on exactly the register plane the instruction
+   implies (type separation, Sections 3-4);
+4. phi operand counts match predecessor counts and each operand is
+   available at the end of its predecessor;
+5. symbolic references (types, fields, methods, operations) resolve in
+   the tamper-proof tables;
+6. exception discipline: a trapping instruction inside a try body
+   terminates its subblock and the subblock has the exception edge to
+   the correct dispatch block (Section 7).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.ssa.cst import CstError, derive_cfg, map_exception_contexts
+from repro.ssa.dominators import compute_dominators
+from repro.ssa import ir
+from repro.ssa.ir import Block, Function, Instr, Module, Phi, Plane
+from repro.typesys.ops import OPS_BY_TYPE
+from repro.typesys.types import (
+    ArrayType,
+    BOOLEAN,
+    ClassType,
+    INT,
+    PrimitiveType,
+    Type,
+    VOID,
+)
+
+THROWABLE = ClassType("java.lang.Throwable")
+
+
+class VerifyError(Exception):
+    """The module violates a SafeTSA well-formedness property."""
+
+
+class _FunctionVerifier:
+    def __init__(self, module: Module, function: Function):
+        self.module = module
+        self.world = module.world
+        self.table = module.type_table
+        self.function = function
+
+    def fail(self, message: str) -> None:
+        raise VerifyError(f"{self.function.name}: {message}")
+
+    # ------------------------------------------------------------------
+
+    def verify(self) -> None:
+        function = self.function
+        try:
+            derive_cfg(function)
+        except CstError as error:
+            self.fail(f"bad control structure: {error}")
+        self.domtree = compute_dominators(function)
+        self.dispatch_of = map_exception_contexts(function.cst)
+        self.linear: dict[int, tuple[Block, int]] = {}
+        for block in function.blocks:
+            for position, instr in enumerate(block.all_instrs()):
+                self.linear[instr.id] = (block, position)
+        for block in function.blocks:
+            if block not in self.domtree.idom:
+                continue  # unreachable blocks carry no code
+            self._verify_block(block)
+
+    # ------------------------------------------------------------------
+
+    def _verify_block(self, block: Block) -> None:
+        dispatch = self.dispatch_of.get(block.id)
+        pred_kinds = {kind for _, kind in block.preds}
+        if "exc" in pred_kinds and "norm" in pred_kinds:
+            self.fail(f"B{block.id} mixes normal and exception predecessors")
+        for phi in block.phis:
+            self._verify_phi(block, phi)
+        for position, instr in enumerate(block.instrs):
+            self._verify_operand_dominance(block, instr)
+            self._verify_instr(block, instr)
+            if instr.traps and dispatch is not None:
+                if position != len(block.instrs) - 1:
+                    self.fail(
+                        f"trapping v{instr.id} is not last in its subblock "
+                        f"B{block.id}")
+                if block.exc_succ() is not dispatch:
+                    self.fail(
+                        f"B{block.id} lacks the exception edge to its "
+                        "dispatch block")
+                if block.term is None or block.term.kind != "fall":
+                    self.fail(
+                        f"B{block.id} with a trapping tail must fall through")
+            if isinstance(instr, ir.CaughtExc):
+                if not block.preds or pred_kinds != {"exc"}:
+                    self.fail(
+                        f"caughtexc in B{block.id} which is not a dispatch "
+                        "block")
+        self._verify_term(block, dispatch)
+        if block.exc_succ() is not None:
+            term = block.term
+            ends_with_trap = bool(block.instrs) and block.instrs[-1].traps
+            if not (term is not None
+                    and ((term.kind == "fall" and ends_with_trap)
+                         or term.kind == "throw")):
+                self.fail(f"B{block.id} has an exception edge but no "
+                          "exception point")
+            if block.exc_succ() is not dispatch:
+                self.fail(f"B{block.id} exception edge escapes its try")
+
+    def _verify_phi(self, block: Block, phi: Phi) -> None:
+        if len(phi.operands) != len(block.preds):
+            self.fail(f"phi v{phi.id} has {len(phi.operands)} operands for "
+                      f"{len(block.preds)} predecessors")
+        for operand, (pred, _kind) in zip(phi.operands, block.preds):
+            if operand.plane != phi.plane:
+                self.fail(f"phi v{phi.id} operand v{operand.id} is on plane "
+                          f"{operand.plane}, not {phi.plane}")
+            self._check_available_at_end(pred, operand,
+                                         f"phi v{phi.id} operand")
+
+    def _check_available_at_end(self, pred: Block, operand: Instr,
+                                what: str) -> None:
+        def_block, _pos = self.linear.get(operand.id, (None, -1))
+        if def_block is None:
+            self.fail(f"{what} v{operand.id} has no definition")
+        if not self.domtree.dominates(def_block, pred):
+            self.fail(f"{what} v{operand.id} (B{def_block.id}) does not "
+                      f"dominate predecessor B{pred.id}")
+
+    def _verify_operand_dominance(self, block: Block, instr: Instr) -> None:
+        _, use_pos = self.linear[instr.id]
+        for operand in instr.operands:
+            entry = self.linear.get(operand.id)
+            if entry is None:
+                self.fail(f"v{instr.id} references undefined v{operand.id}")
+            def_block, def_pos = entry
+            if def_block is block:
+                if def_pos >= use_pos:
+                    self.fail(f"v{instr.id} uses v{operand.id} before its "
+                              f"definition in B{block.id}")
+            elif not self.domtree.dominates(def_block, block):
+                self.fail(
+                    f"v{instr.id} in B{block.id} references v{operand.id} "
+                    f"in non-dominating B{def_block.id}")
+
+    def _verify_term(self, block: Block, dispatch: Optional[Block]) -> None:
+        term = block.term
+        if term is None:
+            self.fail(f"B{block.id} has no terminator")
+        value = term.value
+        if value is not None:
+            entry = self.linear.get(value.id)
+            if entry is None:
+                self.fail(f"terminator of B{block.id} references undefined "
+                          f"value")
+            def_block, _pos = entry
+            if def_block is not block \
+                    and not self.domtree.dominates(def_block, block):
+                self.fail(f"terminator of B{block.id} references "
+                          "non-dominating value")
+        if term.kind == "branch":
+            if value is None or value.plane != Plane.of_type(BOOLEAN):
+                self.fail(f"branch in B{block.id} is not on a boolean")
+        elif term.kind == "return":
+            expected = self.function.method.return_type
+            if expected is VOID:
+                if value is not None:
+                    self.fail("void method returns a value")
+            else:
+                if value is None:
+                    self.fail("missing return value")
+                if value.plane != Plane.of_type(expected):
+                    self.fail(f"return value on plane {value.plane}, "
+                              f"expected {Plane.of_type(expected)}")
+        elif term.kind == "throw":
+            if value is None or value.plane != Plane.safe(THROWABLE):
+                self.fail("throw operand must be on the safe Throwable "
+                          "plane")
+
+    # ------------------------------------------------------------------
+    # per-instruction rules
+
+    def _verify_instr(self, block: Block, instr: Instr) -> None:
+        handler = getattr(self, "_rule_" + type(instr).__name__.lower(), None)
+        if handler is not None:
+            handler(block, instr)
+        plane = instr.plane
+        if plane is not None and plane.kind != "safeidx" \
+                and plane.type not in self.table:
+            self.fail(f"v{instr.id} produces a value of type {plane.type} "
+                      "absent from the type table")
+
+    def _require_plane(self, instr: Instr, index: int, plane: Plane) -> None:
+        operand = instr.operands[index]
+        if operand.plane != plane:
+            self.fail(f"v{instr.id} operand {index} is on plane "
+                      f"{operand.plane}, expected {plane}")
+
+    def _rule_const(self, block: Block, instr: ir.Const) -> None:
+        if block is not self.function.entry:
+            self.fail(f"const v{instr.id} outside the entry block")
+        if instr.type.is_reference() and instr.value is not None \
+                and not isinstance(instr.value, str):
+            self.fail(f"const v{instr.id} has a non-null reference value")
+
+    def _rule_param(self, block: Block, instr: ir.Param) -> None:
+        if block is not self.function.entry:
+            self.fail(f"param v{instr.id} outside the entry block")
+        method = self.function.method
+        arity = len(method.param_types) + (0 if method.is_static else 1)
+        if not 0 <= instr.index < arity:
+            self.fail(f"param index {instr.index} out of range")
+        if instr.plane.kind == "safe" and (method.is_static
+                                           or instr.index != 0):
+            self.fail("only 'this' may be pre-loaded on a safe plane")
+
+    def _rule_prim(self, block: Block, instr: ir.Prim) -> None:
+        operation = instr.operation
+        table = OPS_BY_TYPE.get(operation.base)
+        if table is None or operation not in table:
+            self.fail(f"unknown operation {operation.qualified_name}")
+        if len(instr.operands) != len(operation.params):
+            self.fail(f"v{instr.id} wrong arity for "
+                      f"{operation.qualified_name}")
+        for i, param in enumerate(operation.params):
+            self._require_plane(instr, i, Plane.of_type(param))
+
+    def _rule_refcmp(self, block: Block, instr: ir.RefCmp) -> None:
+        plane = Plane.of_type(instr.plane_type)
+        self._require_plane(instr, 0, plane)
+        self._require_plane(instr, 1, plane)
+
+    def _rule_nullcheck(self, block: Block, instr: ir.NullCheck) -> None:
+        self._require_plane(instr, 0, Plane.of_type(instr.ref_type))
+        if not instr.ref_type.is_reference():
+            self.fail("nullcheck of a non-reference type")
+
+    def _rule_idxcheck(self, block: Block, instr: ir.IdxCheck) -> None:
+        array = instr.array
+        if array.plane.kind != "safe" \
+                or not isinstance(array.plane.type, ArrayType):
+            self.fail(f"idxcheck v{instr.id} array operand is not a safe "
+                      "array reference")
+        self._require_plane(instr, 1, Plane.of_type(INT))
+        if instr.plane.kind != "safeidx" or instr.plane.key is not array:
+            self.fail(f"idxcheck v{instr.id} result plane mismatch")
+
+    def _rule_upcast(self, block: Block, instr: ir.Upcast) -> None:
+        operand = instr.operands[0]
+        if operand.plane.kind != "ref" or not instr.target_type.is_reference():
+            self.fail(f"upcast v{instr.id} must move between reference "
+                      "planes")
+
+    def _rule_downcast(self, block: Block, instr: ir.Downcast) -> None:
+        source = instr.operands[0].plane
+        target = instr.plane
+        ok = (source.kind in ("ref", "safe")
+              and target.kind in ("ref", "safe")
+              and not (source.kind == "ref" and target.kind == "safe")
+              and self.world.is_subtype(source.type, target.type))
+        if not ok:
+            self.fail(f"illegal downcast {source} -> {target}")
+
+    def _safe_base(self, instr: Instr, index: int, base_type: Type,
+                   what: str) -> None:
+        operand = instr.operands[index]
+        if operand.plane != Plane.safe(base_type):
+            self.fail(f"{what} v{instr.id} object operand on plane "
+                      f"{operand.plane}, expected {Plane.safe(base_type)}")
+
+    def _rule_getfield(self, block: Block, instr: ir.GetField) -> None:
+        self._safe_base(instr, 0, instr.base.type, "getfield")
+        if instr.field.is_static:
+            self.fail("getfield of a static field")
+        if instr.field not in self.table.field_table(instr.base):
+            self.fail(f"field {instr.field.name} not reachable from "
+                      f"{instr.base.name}")
+
+    def _rule_setfield(self, block: Block, instr: ir.SetField) -> None:
+        self._safe_base(instr, 0, instr.base.type, "setfield")
+        if instr.field.is_static:
+            self.fail("setfield of a static field")
+        if instr.field not in self.table.field_table(instr.base):
+            self.fail(f"field {instr.field.name} not reachable from "
+                      f"{instr.base.name}")
+        self._require_plane(instr, 1, Plane.of_type(instr.field.type))
+
+    def _rule_getstatic(self, block: Block, instr: ir.GetStatic) -> None:
+        if not instr.field.is_static:
+            self.fail("getstatic of an instance field")
+
+    def _rule_setstatic(self, block: Block, instr: ir.SetStatic) -> None:
+        if not instr.field.is_static:
+            self.fail("setstatic of an instance field")
+        if instr.field.is_final and instr.field.declaring.is_builtin:
+            self.fail("setstatic of a final library field")
+        self._require_plane(instr, 0, Plane.of_type(instr.field.type))
+
+    def _elt_planes(self, instr: Instr) -> None:
+        array = instr.operands[0]
+        if array.plane != Plane.safe(instr.array_type):
+            self.fail(f"v{instr.id} array operand on plane {array.plane}, "
+                      f"expected {Plane.safe(instr.array_type)}")
+        index = instr.operands[1]
+        if index.plane.kind != "safeidx" or index.plane.key is not array:
+            self.fail(f"v{instr.id} index operand is not a safe index of "
+                      "the same array value")
+
+    def _rule_getelt(self, block: Block, instr: ir.GetElt) -> None:
+        self._elt_planes(instr)
+
+    def _rule_setelt(self, block: Block, instr: ir.SetElt) -> None:
+        self._elt_planes(instr)
+        self._require_plane(
+            instr, 2, Plane.of_type(instr.array_type.element))
+
+    def _rule_arraylen(self, block: Block, instr: ir.ArrayLen) -> None:
+        if instr.operands[0].plane != Plane.safe(instr.array_type):
+            self.fail(f"arraylen v{instr.id} operand plane mismatch")
+
+    def _rule_newarray(self, block: Block, instr: ir.NewArray) -> None:
+        self._require_plane(instr, 0, Plane.of_type(INT))
+
+    def _rule_instanceof(self, block: Block, instr: ir.InstanceOf) -> None:
+        if instr.operands[0].plane.kind != "ref":
+            self.fail(f"instanceof v{instr.id} operand must be an unsafe "
+                      "reference")
+        if not instr.target_type.is_reference():
+            self.fail("instanceof against a non-reference type")
+
+    def _rule_call(self, block: Block, instr: ir.Call) -> None:
+        method = instr.method
+        if method not in self.table.method_table(instr.base):
+            self.fail(f"method {method.name} not reachable from "
+                      f"{instr.base.name}")
+        if instr.dispatch and method.is_static:
+            self.fail("xdispatch of a static method")
+        expected = list(method.param_types)
+        offset = 0
+        if not method.is_static:
+            self._safe_base(instr, 0, instr.base.type, instr.opcode)
+            offset = 1
+        if len(instr.operands) != offset + len(expected):
+            self.fail(f"{instr.opcode} v{instr.id} wrong arity")
+        for i, param in enumerate(expected):
+            self._require_plane(instr, offset + i, Plane.of_type(param))
+
+
+def verify_function(module: Module, function: Function) -> None:
+    """Raise :class:`VerifyError` if ``function`` is ill-formed."""
+    _FunctionVerifier(module, function).verify()
+
+
+def verify_module(module: Module) -> None:
+    """Verify every function of a module."""
+    for function in module.functions.values():
+        verify_function(module, function)

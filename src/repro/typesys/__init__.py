@@ -1,0 +1,57 @@
+"""Type system: Java-like type hierarchy and the SafeTSA type table.
+
+The SafeTSA machine model gives every type its own *register plane*
+(Section 3 of the paper).  The plane structure is derived from the
+:class:`~repro.typesys.table.TypeTable`, most of whose entries (primitive
+types, imported host types) are generated implicitly and are therefore
+tamper-proof (Section 4).
+"""
+
+from repro.typesys.types import (
+    ArrayType,
+    ClassType,
+    NullType,
+    PrimitiveType,
+    Type,
+    BOOLEAN,
+    CHAR,
+    DOUBLE,
+    FLOAT,
+    INT,
+    LONG,
+    NULL,
+    VOID,
+)
+from repro.typesys.world import (
+    ClassInfo,
+    FieldInfo,
+    MethodInfo,
+    World,
+)
+from repro.typesys.ops import Operation, OPS_BY_TYPE, lookup_op
+from repro.typesys.table import TypeTable, TypeEntry
+
+__all__ = [
+    "ArrayType",
+    "ClassType",
+    "NullType",
+    "PrimitiveType",
+    "Type",
+    "BOOLEAN",
+    "CHAR",
+    "DOUBLE",
+    "FLOAT",
+    "INT",
+    "LONG",
+    "NULL",
+    "VOID",
+    "ClassInfo",
+    "FieldInfo",
+    "MethodInfo",
+    "World",
+    "Operation",
+    "OPS_BY_TYPE",
+    "lookup_op",
+    "TypeTable",
+    "TypeEntry",
+]

@@ -1,0 +1,208 @@
+"""Per-type operation tables (paper Section 5).
+
+In SafeTSA, primitive operations are *subordinate to types*: an instruction
+names a base type (a symbolic reference into the type table) and an
+operation defined on that type.  Operations that may raise an exception
+(integer divide, for example) are classified as ``xprimitive``; all others
+are ``primitive``.  The classification is part of the implicitly generated
+operation table, so a malicious producer cannot reclassify a trapping
+operation as non-trapping.
+
+Every operation carries an executable ``fold`` implementing exact Java
+semantics; it is shared by the constant folder and by both interpreters.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro import jmath
+from repro.typesys.types import (
+    BOOLEAN,
+    CHAR,
+    DOUBLE,
+    FLOAT,
+    INT,
+    LONG,
+    PrimitiveType,
+    Type,
+)
+
+
+class Operation:
+    """A single operation in some type's operation table."""
+
+    def __init__(self, base: PrimitiveType, name: str, params: list[Type],
+                 result: Type, fold: Callable, traps: bool = False,
+                 commutative: bool = False):
+        self.base = base
+        self.name = name
+        self.params = params
+        self.result = result
+        self.fold = fold
+        #: True => must be referenced via ``xprimitive``
+        self.traps = traps
+        #: True => CSE may normalise operand order
+        self.commutative = commutative
+        #: index within the base type's table (stable; used for encoding)
+        self.index: int = -1
+
+    @property
+    def qualified_name(self) -> str:
+        return f"{self.base}.{self.name}"
+
+    def __repr__(self) -> str:  # pragma: no cover
+        kind = "xprimitive" if self.traps else "primitive"
+        return f"<{kind} {self.qualified_name}>"
+
+
+def _int_ops() -> list[Operation]:
+    i = jmath.i32
+    return [
+        Operation(INT, "add", [INT, INT], INT, lambda a, b: i(a + b), commutative=True),
+        Operation(INT, "sub", [INT, INT], INT, lambda a, b: i(a - b)),
+        Operation(INT, "mul", [INT, INT], INT, lambda a, b: i(a * b), commutative=True),
+        Operation(INT, "div", [INT, INT], INT, lambda a, b: i(jmath.idiv(a, b)), traps=True),
+        Operation(INT, "rem", [INT, INT], INT, lambda a, b: i(jmath.irem(a, b)), traps=True),
+        Operation(INT, "neg", [INT], INT, lambda a: i(-a)),
+        Operation(INT, "shl", [INT, INT], INT, lambda a, b: jmath.ishl(a, b, 32)),
+        Operation(INT, "shr", [INT, INT], INT, lambda a, b: jmath.ishr(a, b, 32)),
+        Operation(INT, "ushr", [INT, INT], INT, lambda a, b: jmath.iushr(a, b, 32)),
+        Operation(INT, "and", [INT, INT], INT, lambda a, b: a & b, commutative=True),
+        Operation(INT, "or", [INT, INT], INT, lambda a, b: a | b, commutative=True),
+        Operation(INT, "xor", [INT, INT], INT, lambda a, b: a ^ b, commutative=True),
+        Operation(INT, "compl", [INT], INT, lambda a: i(~a)),
+        Operation(INT, "lt", [INT, INT], BOOLEAN, lambda a, b: a < b),
+        Operation(INT, "le", [INT, INT], BOOLEAN, lambda a, b: a <= b),
+        Operation(INT, "gt", [INT, INT], BOOLEAN, lambda a, b: a > b),
+        Operation(INT, "ge", [INT, INT], BOOLEAN, lambda a, b: a >= b),
+        Operation(INT, "eq", [INT, INT], BOOLEAN, lambda a, b: a == b, commutative=True),
+        Operation(INT, "ne", [INT, INT], BOOLEAN, lambda a, b: a != b, commutative=True),
+        Operation(INT, "to_long", [INT], LONG, lambda a: a),
+        Operation(INT, "to_float", [INT], FLOAT, lambda a: jmath.f32(float(a))),
+        Operation(INT, "to_double", [INT], DOUBLE, lambda a: float(a)),
+        Operation(INT, "to_char", [INT], CHAR, jmath.i2c),
+    ]
+
+
+def _long_ops() -> list[Operation]:
+    i = jmath.i64
+    return [
+        Operation(LONG, "add", [LONG, LONG], LONG, lambda a, b: i(a + b), commutative=True),
+        Operation(LONG, "sub", [LONG, LONG], LONG, lambda a, b: i(a - b)),
+        Operation(LONG, "mul", [LONG, LONG], LONG, lambda a, b: i(a * b), commutative=True),
+        Operation(LONG, "div", [LONG, LONG], LONG, lambda a, b: i(jmath.idiv(a, b)), traps=True),
+        Operation(LONG, "rem", [LONG, LONG], LONG, lambda a, b: i(jmath.irem(a, b)), traps=True),
+        Operation(LONG, "neg", [LONG], LONG, lambda a: i(-a)),
+        Operation(LONG, "shl", [LONG, INT], LONG, lambda a, b: jmath.ishl(a, b, 64)),
+        Operation(LONG, "shr", [LONG, INT], LONG, lambda a, b: jmath.ishr(a, b, 64)),
+        Operation(LONG, "ushr", [LONG, INT], LONG, lambda a, b: jmath.iushr(a, b, 64)),
+        Operation(LONG, "and", [LONG, LONG], LONG, lambda a, b: a & b, commutative=True),
+        Operation(LONG, "or", [LONG, LONG], LONG, lambda a, b: a | b, commutative=True),
+        Operation(LONG, "xor", [LONG, LONG], LONG, lambda a, b: a ^ b, commutative=True),
+        Operation(LONG, "compl", [LONG], LONG, lambda a: i(~a)),
+        Operation(LONG, "lt", [LONG, LONG], BOOLEAN, lambda a, b: a < b),
+        Operation(LONG, "le", [LONG, LONG], BOOLEAN, lambda a, b: a <= b),
+        Operation(LONG, "gt", [LONG, LONG], BOOLEAN, lambda a, b: a > b),
+        Operation(LONG, "ge", [LONG, LONG], BOOLEAN, lambda a, b: a >= b),
+        Operation(LONG, "eq", [LONG, LONG], BOOLEAN, lambda a, b: a == b, commutative=True),
+        Operation(LONG, "ne", [LONG, LONG], BOOLEAN, lambda a, b: a != b, commutative=True),
+        Operation(LONG, "to_int", [LONG], INT, jmath.l2i),
+        Operation(LONG, "to_float", [LONG], FLOAT, lambda a: jmath.f32(float(a))),
+        Operation(LONG, "to_double", [LONG], DOUBLE, lambda a: float(a)),
+    ]
+
+
+def _float_ops() -> list[Operation]:
+    f = jmath.f32
+    return [
+        Operation(FLOAT, "add", [FLOAT, FLOAT], FLOAT, lambda a, b: f(a + b), commutative=True),
+        Operation(FLOAT, "sub", [FLOAT, FLOAT], FLOAT, lambda a, b: f(a - b)),
+        Operation(FLOAT, "mul", [FLOAT, FLOAT], FLOAT, lambda a, b: f(a * b), commutative=True),
+        Operation(FLOAT, "div", [FLOAT, FLOAT], FLOAT, lambda a, b: f(jmath.fdiv(a, b))),
+        Operation(FLOAT, "rem", [FLOAT, FLOAT], FLOAT, lambda a, b: f(jmath.frem(a, b))),
+        Operation(FLOAT, "neg", [FLOAT], FLOAT, lambda a: f(-a)),
+        Operation(FLOAT, "lt", [FLOAT, FLOAT], BOOLEAN, lambda a, b: a < b),
+        Operation(FLOAT, "le", [FLOAT, FLOAT], BOOLEAN, lambda a, b: a <= b),
+        Operation(FLOAT, "gt", [FLOAT, FLOAT], BOOLEAN, lambda a, b: a > b),
+        Operation(FLOAT, "ge", [FLOAT, FLOAT], BOOLEAN, lambda a, b: a >= b),
+        Operation(FLOAT, "eq", [FLOAT, FLOAT], BOOLEAN, lambda a, b: a == b, commutative=True),
+        Operation(FLOAT, "ne", [FLOAT, FLOAT], BOOLEAN, lambda a, b: a != b, commutative=True),
+        Operation(FLOAT, "to_int", [FLOAT], INT, jmath.d2i),
+        Operation(FLOAT, "to_long", [FLOAT], LONG, jmath.d2l),
+        Operation(FLOAT, "to_double", [FLOAT], DOUBLE, lambda a: a),
+    ]
+
+
+def _double_ops() -> list[Operation]:
+    return [
+        Operation(DOUBLE, "add", [DOUBLE, DOUBLE], DOUBLE, lambda a, b: a + b, commutative=True),
+        Operation(DOUBLE, "sub", [DOUBLE, DOUBLE], DOUBLE, lambda a, b: a - b),
+        Operation(DOUBLE, "mul", [DOUBLE, DOUBLE], DOUBLE, lambda a, b: a * b, commutative=True),
+        Operation(DOUBLE, "div", [DOUBLE, DOUBLE], DOUBLE, jmath.fdiv),
+        Operation(DOUBLE, "rem", [DOUBLE, DOUBLE], DOUBLE, jmath.frem),
+        Operation(DOUBLE, "neg", [DOUBLE], DOUBLE, lambda a: -a),
+        Operation(DOUBLE, "lt", [DOUBLE, DOUBLE], BOOLEAN, lambda a, b: a < b),
+        Operation(DOUBLE, "le", [DOUBLE, DOUBLE], BOOLEAN, lambda a, b: a <= b),
+        Operation(DOUBLE, "gt", [DOUBLE, DOUBLE], BOOLEAN, lambda a, b: a > b),
+        Operation(DOUBLE, "ge", [DOUBLE, DOUBLE], BOOLEAN, lambda a, b: a >= b),
+        Operation(DOUBLE, "eq", [DOUBLE, DOUBLE], BOOLEAN, lambda a, b: a == b, commutative=True),
+        Operation(DOUBLE, "ne", [DOUBLE, DOUBLE], BOOLEAN, lambda a, b: a != b, commutative=True),
+        Operation(DOUBLE, "to_int", [DOUBLE], INT, jmath.d2i),
+        Operation(DOUBLE, "to_long", [DOUBLE], LONG, jmath.d2l),
+        Operation(DOUBLE, "to_float", [DOUBLE], FLOAT, jmath.f32),
+    ]
+
+
+def _boolean_ops() -> list[Operation]:
+    return [
+        Operation(BOOLEAN, "and", [BOOLEAN, BOOLEAN], BOOLEAN, lambda a, b: a and b, commutative=True),
+        Operation(BOOLEAN, "or", [BOOLEAN, BOOLEAN], BOOLEAN, lambda a, b: a or b, commutative=True),
+        Operation(BOOLEAN, "xor", [BOOLEAN, BOOLEAN], BOOLEAN, lambda a, b: a != b, commutative=True),
+        Operation(BOOLEAN, "not", [BOOLEAN], BOOLEAN, lambda a: not a),
+        Operation(BOOLEAN, "eq", [BOOLEAN, BOOLEAN], BOOLEAN, lambda a, b: a == b, commutative=True),
+        Operation(BOOLEAN, "ne", [BOOLEAN, BOOLEAN], BOOLEAN, lambda a, b: a != b, commutative=True),
+    ]
+
+
+def _char_ops() -> list[Operation]:
+    return [
+        Operation(CHAR, "to_int", [CHAR], INT, lambda a: a),
+        Operation(CHAR, "eq", [CHAR, CHAR], BOOLEAN, lambda a, b: a == b, commutative=True),
+        Operation(CHAR, "ne", [CHAR, CHAR], BOOLEAN, lambda a, b: a != b, commutative=True),
+    ]
+
+
+def _build_tables() -> dict[PrimitiveType, list[Operation]]:
+    tables = {
+        INT: _int_ops(),
+        LONG: _long_ops(),
+        FLOAT: _float_ops(),
+        DOUBLE: _double_ops(),
+        BOOLEAN: _boolean_ops(),
+        CHAR: _char_ops(),
+    }
+    for ops in tables.values():
+        for index, op in enumerate(ops):
+            op.index = index
+    return tables
+
+
+#: the implicit, tamper-proof operation tables, keyed by base type
+OPS_BY_TYPE: dict[PrimitiveType, list[Operation]] = _build_tables()
+
+
+def lookup_op(base: PrimitiveType, name: str) -> Operation:
+    """Find an operation by base type and name (raises KeyError if absent)."""
+    for op in OPS_BY_TYPE[base]:
+        if op.name == name:
+            return op
+    raise KeyError(f"no operation {name!r} on type {base}")
+
+
+def op_by_index(base: PrimitiveType, index: int) -> Optional[Operation]:
+    """Find an operation by table index (None when out of range)."""
+    ops = OPS_BY_TYPE.get(base)
+    if ops is None or not 0 <= index < len(ops):
+        return None
+    return ops[index]

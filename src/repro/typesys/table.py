@@ -1,0 +1,193 @@
+"""The SafeTSA type table.
+
+Every type, field and method referenced by a SafeTSA instruction is a
+*symbolic reference* into this table (paper Sections 4-6).  The table has
+two parts:
+
+* an **implicit part** -- primitive types and host-library ("imported")
+  classes -- generated identically by producer and consumer and therefore
+  tamper-proof, and
+* a **declared part** -- the mobile program's own classes and the array
+  types it uses -- transmitted in the distribution unit for safe linking.
+
+Indices are stable and dense, so the wire format can encode a type
+reference as a bounded symbol whose alphabet is the current table size.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+from repro.typesys.types import (
+    ArrayType,
+    BOOLEAN,
+    CHAR,
+    ClassType,
+    DOUBLE,
+    FLOAT,
+    INT,
+    LONG,
+    Type,
+    VOID,
+)
+from repro.typesys.world import ClassInfo, FieldInfo, MethodInfo, World
+
+#: canonical order of the primitive entries (index 0..6)
+PRIMITIVE_ORDER: tuple[Type, ...] = (INT, LONG, FLOAT, DOUBLE, BOOLEAN, CHAR, VOID)
+
+
+class TypeEntry:
+    """One row of the type table."""
+
+    def __init__(self, index: int, type: Type, implicit: bool):
+        self.index = index
+        self.type = type
+        #: True for the tamper-proof implicit part
+        self.implicit = implicit
+
+    def __repr__(self) -> str:  # pragma: no cover
+        origin = "implicit" if self.implicit else "declared"
+        return f"<type #{self.index} {self.type} ({origin})>"
+
+
+class TypeTableError(Exception):
+    """Raised for references to types absent from the table."""
+
+
+class TypeTable:
+    """Dense, deterministic numbering of all types a module references."""
+
+    def __init__(self, world: World):
+        self.world = world
+        self.entries: list[TypeEntry] = []
+        self._index: dict[Type, int] = {}
+        self._field_tables: dict[str, list[FieldInfo]] = {}
+        self._method_tables: dict[str, list[MethodInfo]] = {}
+        for prim in PRIMITIVE_ORDER:
+            self._add(prim, implicit=True)
+        for info in world.classes.values():
+            if info.is_builtin:
+                self._add(info.type, implicit=True)
+
+    # ------------------------------------------------------------------
+    # construction
+
+    def _add(self, type: Type, implicit: bool) -> int:
+        if type in self._index:
+            return self._index[type]
+        entry = TypeEntry(len(self.entries), type, implicit)
+        self.entries.append(entry)
+        self._index[type] = entry.index
+        return entry.index
+
+    def declare_class(self, info: ClassInfo) -> int:
+        """Register a user class (declared part of the table)."""
+        return self._add(info.type, implicit=False)
+
+    def intern(self, type: Type) -> int:
+        """Ensure ``type`` has an index, registering array types on demand."""
+        if type in self._index:
+            return self._index[type]
+        if isinstance(type, ArrayType):
+            self.intern(type.element)
+            return self._add(type, implicit=False)
+        if isinstance(type, ClassType):
+            info = self.world.lookup(type.name)
+            if info is None:
+                raise TypeTableError(f"unknown class type {type}")
+            return self._add(info.type, implicit=False)
+        raise TypeTableError(f"cannot intern type {type}")
+
+    # ------------------------------------------------------------------
+    # lookup
+
+    def index_of(self, type: Type) -> int:
+        index = self._index.get(type)
+        if index is None:
+            raise TypeTableError(f"type {type} is not in the type table")
+        return index
+
+    def __contains__(self, type: Type) -> bool:
+        return type in self._index
+
+    def type_at(self, index: int) -> Type:
+        if not 0 <= index < len(self.entries):
+            raise TypeTableError(f"type index {index} out of range")
+        return self.entries[index].type
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def declared_entries(self) -> list[TypeEntry]:
+        return [e for e in self.entries if not e.implicit]
+
+    # ------------------------------------------------------------------
+    # member tables (symbolic field / method references)
+
+    def field_table(self, info: ClassInfo) -> list[FieldInfo]:
+        """Deterministic list of all fields accessible through ``info``.
+
+        Instance fields come first in slot order (superclass first), then
+        static fields from the class chain, outermost superclass first.
+        """
+        cached = self._field_tables.get(info.name)
+        if cached is not None:
+            return cached
+        table = list(info.all_instance_fields)
+        chain: list[ClassInfo] = []
+        cls: Optional[ClassInfo] = info
+        while cls is not None:
+            chain.append(cls)
+            cls = cls.superclass
+        for cls in reversed(chain):
+            table.extend(f for f in cls.fields if f.is_static)
+        self._field_tables[info.name] = table
+        return table
+
+    def method_table(self, info: ClassInfo) -> list[MethodInfo]:
+        """Deterministic list of all methods invocable through ``info``.
+
+        The order is: the visible methods of the class chain, innermost
+        class first, each class's declarations in declaration order, with
+        overridden superclass declarations omitted.
+        """
+        cached = self._method_tables.get(info.name)
+        if cached is not None:
+            return cached
+        table: list[MethodInfo] = []
+        seen: set[tuple] = set()
+        cls: Optional[ClassInfo] = info
+        while cls is not None:
+            for method in cls.methods:
+                if method.is_constructor and cls is not info:
+                    # Constructors are not inherited; a super(...) call names
+                    # the superclass as its base type and therefore uses the
+                    # superclass's own method table.
+                    continue
+                key = method.signature
+                if key not in seen:
+                    table.append(method)
+                    seen.add(key)
+            cls = cls.superclass
+        self._method_tables[info.name] = table
+        return table
+
+    def field_index(self, info: ClassInfo, field: FieldInfo) -> int:
+        table = self.field_table(info)
+        for i, candidate in enumerate(table):
+            if candidate is field:
+                return i
+        raise TypeTableError(f"field {field.qualified_name} not reachable from {info.name}")
+
+    def method_index(self, info: ClassInfo, method: MethodInfo) -> int:
+        table = self.method_table(info)
+        for i, candidate in enumerate(table):
+            if candidate is method:
+                return i
+        raise TypeTableError(
+            f"method {method.qualified_name} not reachable from {info.name}")
+
+    def invalidate_member_tables(self) -> None:
+        """Drop caches (used after the consumer links decoded classes)."""
+        self._field_tables.clear()
+        self._method_tables.clear()

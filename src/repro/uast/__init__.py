@@ -1,0 +1,24 @@
+"""Unified Abstract Syntax Tree (UAST).
+
+The UAST is the structured intermediate form the SSA generator consumes
+(paper Section 7).  The builder normalises the typed front-end AST:
+
+* short-circuit ``&&``/``||`` and ``?:`` become if-else statements writing
+  synthetic temporaries (the paper's own treatment, Section 7 footnote 3);
+* compound assignment, ``++``/``--`` and string concatenation are expanded;
+* ``for`` loops become ``while`` loops with an inner labeled region so that
+  ``continue`` reaches the update code;
+* ``switch`` becomes nested labeled blocks (preserving fallthrough);
+* ``try``/``finally`` is lowered with a mode variable so that the finally
+  region is a join of normal completion, exceptional completion, and every
+  ``break``/``continue``/``return`` leaving the try -- exactly the
+  control-flow shape described in the paper;
+* field initializers are folded into constructors, static initializers
+  into a synthesized ``<clinit>``.
+"""
+
+from repro.uast import nodes
+from repro.uast.builder import UastBuilder, build_uast
+from repro.uast.printer import format_method
+
+__all__ = ["nodes", "UastBuilder", "build_uast", "format_method"]

@@ -1,0 +1,361 @@
+"""UAST node definitions.
+
+Statements form the structured control skeleton; expressions are operand
+trees whose evaluation emits SafeTSA instructions in tree order.  After
+normalisation, expressions contain no assignments and no control flow --
+every side effect other than calls/allocation/traps lives in a statement.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.frontend.ast import LocalVar
+from repro.typesys.ops import Operation
+from repro.typesys.types import ArrayType, ClassType, Type
+from repro.typesys.world import ClassInfo, FieldInfo, MethodInfo
+
+
+class UNode:
+    __slots__ = ()
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<{type(self).__name__}>"
+
+
+# ======================================================================
+# expressions
+
+class UExpr(UNode):
+    __slots__ = ("type",)
+
+    def __init__(self, type: Type):
+        self.type = type
+
+
+class EConst(UExpr):
+    """A constant: int/long/float/double/char/boolean value, string, or
+    null (value None with a reference type)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, type: Type, value: object):
+        super().__init__(type)
+        self.value = value
+
+
+class ELocal(UExpr):
+    __slots__ = ("local",)
+
+    def __init__(self, local: LocalVar):
+        super().__init__(local.type)
+        self.local = local
+
+
+class EGetField(UExpr):
+    __slots__ = ("obj", "field")
+
+    def __init__(self, obj: UExpr, field: FieldInfo):
+        super().__init__(field.type)
+        self.obj = obj
+        self.field = field
+
+
+class EGetStatic(UExpr):
+    __slots__ = ("field",)
+
+    def __init__(self, field: FieldInfo):
+        super().__init__(field.type)
+        self.field = field
+
+
+class EArrayGet(UExpr):
+    __slots__ = ("array", "index")
+
+    def __init__(self, type: Type, array: UExpr, index: UExpr):
+        super().__init__(type)
+        self.array = array
+        self.index = index
+
+
+class EArrayLen(UExpr):
+    __slots__ = ("array",)
+
+    def __init__(self, type: Type, array: UExpr):
+        super().__init__(type)
+        self.array = array
+
+
+class EPrim(UExpr):
+    """Application of a type-table operation (primitive or xprimitive)."""
+
+    __slots__ = ("operation", "args")
+
+    def __init__(self, operation: Operation, args: list[UExpr]):
+        super().__init__(operation.result)
+        self.operation = operation
+        self.args = args
+
+
+class ERefCmp(UExpr):
+    """Reference equality on a common-supertype plane."""
+
+    __slots__ = ("is_eq", "plane_type", "left", "right")
+
+    def __init__(self, type: Type, is_eq: bool, plane_type: Type,
+                 left: UExpr, right: UExpr):
+        super().__init__(type)
+        self.is_eq = is_eq
+        self.plane_type = plane_type
+        self.left = left
+        self.right = right
+
+
+class ECall(UExpr):
+    """Method invocation.  ``receiver`` is None for static methods;
+    ``dispatch`` selects xdispatch (virtual) vs xcall (static binding)."""
+
+    __slots__ = ("method", "receiver", "args", "dispatch", "base")
+
+    def __init__(self, method: MethodInfo, receiver: Optional[UExpr],
+                 args: list[UExpr], dispatch: bool, base: ClassInfo):
+        super().__init__(method.return_type)
+        self.method = method
+        self.receiver = receiver
+        self.args = args
+        self.dispatch = dispatch
+        #: static type whose method table names ``method``
+        self.base = base
+
+
+class ENew(UExpr):
+    __slots__ = ("class_info", "ctor", "args")
+
+    def __init__(self, class_info: ClassInfo, ctor: MethodInfo,
+                 args: list[UExpr]):
+        super().__init__(class_info.type)
+        self.class_info = class_info
+        self.ctor = ctor
+        self.args = args
+
+
+class ENewArray(UExpr):
+    __slots__ = ("array_type", "length")
+
+    def __init__(self, array_type: ArrayType, length: UExpr):
+        super().__init__(array_type)
+        self.array_type = array_type
+        self.length = length
+
+
+class ENewMultiArray(UExpr):
+    """Multi-dimensional allocation ``new T[d0][d1]...``.
+
+    The bytecode baseline emits ``multianewarray`` (as javac does); the
+    SafeTSA side, which has no such primitive, lowers this to explicit
+    nested allocation loops during SSA construction.
+    """
+
+    __slots__ = ("array_type", "dims")
+
+    def __init__(self, array_type: ArrayType, dims: list[UExpr]):
+        super().__init__(array_type)
+        self.array_type = array_type
+        self.dims = dims
+
+
+class EInstanceOf(UExpr):
+    __slots__ = ("target_type", "operand")
+
+    def __init__(self, type: Type, target_type: Type, operand: UExpr):
+        super().__init__(type)
+        self.target_type = target_type
+        self.operand = operand
+
+
+class ECheckedCast(UExpr):
+    """The paper's *upcast*: a dynamically checked cast (may throw)."""
+
+    __slots__ = ("operand",)
+
+    def __init__(self, target_type: Type, operand: UExpr):
+        super().__init__(target_type)
+        self.operand = operand
+
+
+class EWidenRef(UExpr):
+    """The paper's *downcast*: a statically safe reference widening
+    (no runtime effect; moves the value to the supertype's plane)."""
+
+    __slots__ = ("operand",)
+
+    def __init__(self, target_type: Type, operand: UExpr):
+        super().__init__(target_type)
+        self.operand = operand
+
+
+# ======================================================================
+# statements
+
+class UStmt(UNode):
+    __slots__ = ()
+
+
+class SBlock(UStmt):
+    __slots__ = ("stmts",)
+
+    def __init__(self, stmts: list[UStmt]):
+        self.stmts = stmts
+
+
+class SLocalWrite(UStmt):
+    __slots__ = ("local", "value")
+
+    def __init__(self, local: LocalVar, value: UExpr):
+        self.local = local
+        self.value = value
+
+
+class SFieldWrite(UStmt):
+    __slots__ = ("obj", "field", "value")
+
+    def __init__(self, obj: UExpr, field: FieldInfo, value: UExpr):
+        self.obj = obj
+        self.field = field
+        self.value = value
+
+
+class SStaticWrite(UStmt):
+    __slots__ = ("field", "value")
+
+    def __init__(self, field: FieldInfo, value: UExpr):
+        self.field = field
+        self.value = value
+
+
+class SArrayWrite(UStmt):
+    __slots__ = ("array", "index", "value")
+
+    def __init__(self, array: UExpr, index: UExpr, value: UExpr):
+        self.array = array
+        self.index = index
+        self.value = value
+
+
+class SEval(UStmt):
+    """Evaluate an expression for its effects (calls, allocation)."""
+
+    __slots__ = ("expr",)
+
+    def __init__(self, expr: UExpr):
+        self.expr = expr
+
+
+class SIf(UStmt):
+    __slots__ = ("cond", "then_body", "else_body")
+
+    def __init__(self, cond: UExpr, then_body: UStmt,
+                 else_body: Optional[UStmt]):
+        self.cond = cond
+        self.then_body = then_body
+        self.else_body = else_body
+
+
+class SWhile(UStmt):
+    """``while`` loop; the condition is evaluated in the loop header,
+    which is the phi block.  ``SBreak(break_id)`` exits the loop,
+    ``SContinue(continue_id)`` jumps back to the header."""
+
+    __slots__ = ("break_id", "continue_id", "cond", "body")
+
+    def __init__(self, break_id: int, continue_id: int, cond: UExpr,
+                 body: UStmt):
+        self.break_id = break_id
+        self.continue_id = continue_id
+        self.cond = cond
+        self.body = body
+
+
+class SDoWhile(UStmt):
+    """``do``/``while``; the body entry is the phi block, the condition is
+    evaluated at the bottom.  ``SContinue(continue_id)`` jumps to the
+    condition evaluation."""
+
+    __slots__ = ("break_id", "continue_id", "body", "cond")
+
+    def __init__(self, break_id: int, continue_id: int, body: UStmt,
+                 cond: UExpr):
+        self.break_id = break_id
+        self.continue_id = continue_id
+        self.body = body
+        self.cond = cond
+
+
+class SLabeled(UStmt):
+    """A labeled region: ``SBreak(target_id)`` exits past its end."""
+
+    __slots__ = ("target_id", "body")
+
+    def __init__(self, target_id: int, body: UStmt):
+        self.target_id = target_id
+        self.body = body
+
+
+class SBreak(UStmt):
+    __slots__ = ("target_id",)
+
+    def __init__(self, target_id: int):
+        self.target_id = target_id
+
+
+class SContinue(UStmt):
+    __slots__ = ("target_id",)
+
+    def __init__(self, target_id: int):
+        self.target_id = target_id
+
+
+class SReturn(UStmt):
+    __slots__ = ("value",)
+
+    def __init__(self, value: Optional[UExpr]):
+        self.value = value
+
+
+class SThrow(UStmt):
+    __slots__ = ("value",)
+
+    def __init__(self, value: UExpr):
+        self.value = value
+
+
+class UCatch(UNode):
+    __slots__ = ("catch_class", "local", "body")
+
+    def __init__(self, catch_class: ClassInfo, local: LocalVar, body: UStmt):
+        self.catch_class = catch_class
+        self.local = local
+        self.body = body
+
+
+class STry(UStmt):
+    """``try`` with catch clauses (``finally`` was lowered away).
+    Unmatched exceptions are rethrown by the implicit default catch."""
+
+    __slots__ = ("body", "catches")
+
+    def __init__(self, body: UStmt, catches: list[UCatch]):
+        self.body = body
+        self.catches = catches
+
+
+class UMethod(UNode):
+    """A compiled method body: its locals and the UAST statement tree."""
+
+    __slots__ = ("method", "locals", "body")
+
+    def __init__(self, method: MethodInfo, locals: list[LocalVar],
+                 body: SBlock):
+        self.method = method
+        self.locals = locals
+        self.body = body

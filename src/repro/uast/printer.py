@@ -1,0 +1,109 @@
+"""Human-readable dump of UAST method bodies (debugging and golden tests)."""
+
+from __future__ import annotations
+
+from repro.uast import nodes as u
+
+
+def format_expr(expr: u.UExpr) -> str:
+    if isinstance(expr, u.EConst):
+        if isinstance(expr.value, str):
+            return repr(expr.value)
+        if expr.value is None:
+            return f"null:{expr.type}"
+        return f"{expr.value}:{expr.type}"
+    if isinstance(expr, u.ELocal):
+        return expr.local.name
+    if isinstance(expr, u.EGetField):
+        return f"{format_expr(expr.obj)}.{expr.field.name}"
+    if isinstance(expr, u.EGetStatic):
+        return expr.field.qualified_name
+    if isinstance(expr, u.EArrayGet):
+        return f"{format_expr(expr.array)}[{format_expr(expr.index)}]"
+    if isinstance(expr, u.EArrayLen):
+        return f"{format_expr(expr.array)}.length"
+    if isinstance(expr, u.EPrim):
+        args = ", ".join(format_expr(a) for a in expr.args)
+        return f"{expr.operation.qualified_name}({args})"
+    if isinstance(expr, u.ERefCmp):
+        op = "==" if expr.is_eq else "!="
+        return f"({format_expr(expr.left)} {op} {format_expr(expr.right)})"
+    if isinstance(expr, u.ECall):
+        args = ", ".join(format_expr(a) for a in expr.args)
+        kind = "dispatch" if expr.dispatch else "call"
+        recv = format_expr(expr.receiver) + "." if expr.receiver else ""
+        return f"{kind} {recv}{expr.method.name}({args})"
+    if isinstance(expr, u.ENew):
+        args = ", ".join(format_expr(a) for a in expr.args)
+        return f"new {expr.class_info.name}({args})"
+    if isinstance(expr, u.ENewArray):
+        return f"new {expr.array_type.element}[{format_expr(expr.length)}]"
+    if isinstance(expr, u.EInstanceOf):
+        return f"({format_expr(expr.operand)} instanceof {expr.target_type})"
+    if isinstance(expr, u.ECheckedCast):
+        return f"upcast<{expr.type}>({format_expr(expr.operand)})"
+    if isinstance(expr, u.EWidenRef):
+        return f"widen<{expr.type}>({format_expr(expr.operand)})"
+    return repr(expr)
+
+
+def _format_stmt(stmt: u.UStmt, indent: int, out: list[str]) -> None:
+    pad = "  " * indent
+    if isinstance(stmt, u.SBlock):
+        for inner in stmt.stmts:
+            _format_stmt(inner, indent, out)
+    elif isinstance(stmt, u.SLocalWrite):
+        out.append(f"{pad}{stmt.local.name} = {format_expr(stmt.value)}")
+    elif isinstance(stmt, u.SFieldWrite):
+        out.append(f"{pad}{format_expr(stmt.obj)}.{stmt.field.name} = "
+                   f"{format_expr(stmt.value)}")
+    elif isinstance(stmt, u.SStaticWrite):
+        out.append(f"{pad}{stmt.field.qualified_name} = "
+                   f"{format_expr(stmt.value)}")
+    elif isinstance(stmt, u.SArrayWrite):
+        out.append(f"{pad}{format_expr(stmt.array)}"
+                   f"[{format_expr(stmt.index)}] = {format_expr(stmt.value)}")
+    elif isinstance(stmt, u.SEval):
+        out.append(f"{pad}eval {format_expr(stmt.expr)}")
+    elif isinstance(stmt, u.SIf):
+        out.append(f"{pad}if {format_expr(stmt.cond)}:")
+        _format_stmt(stmt.then_body, indent + 1, out)
+        if stmt.else_body is not None:
+            out.append(f"{pad}else:")
+            _format_stmt(stmt.else_body, indent + 1, out)
+    elif isinstance(stmt, u.SWhile):
+        out.append(f"{pad}while[b{stmt.break_id},c{stmt.continue_id}] "
+                   f"{format_expr(stmt.cond)}:")
+        _format_stmt(stmt.body, indent + 1, out)
+    elif isinstance(stmt, u.SDoWhile):
+        out.append(f"{pad}do[b{stmt.break_id},c{stmt.continue_id}]:")
+        _format_stmt(stmt.body, indent + 1, out)
+        out.append(f"{pad}while {format_expr(stmt.cond)}")
+    elif isinstance(stmt, u.SLabeled):
+        out.append(f"{pad}labeled L{stmt.target_id}:")
+        _format_stmt(stmt.body, indent + 1, out)
+    elif isinstance(stmt, u.SBreak):
+        out.append(f"{pad}break L{stmt.target_id}")
+    elif isinstance(stmt, u.SContinue):
+        out.append(f"{pad}continue L{stmt.target_id}")
+    elif isinstance(stmt, u.SReturn):
+        value = format_expr(stmt.value) if stmt.value is not None else ""
+        out.append(f"{pad}return {value}".rstrip())
+    elif isinstance(stmt, u.SThrow):
+        out.append(f"{pad}throw {format_expr(stmt.value)}")
+    elif isinstance(stmt, u.STry):
+        out.append(f"{pad}try:")
+        _format_stmt(stmt.body, indent + 1, out)
+        for catch in stmt.catches:
+            out.append(f"{pad}catch {catch.catch_class.name} "
+                       f"{catch.local.name}:")
+            _format_stmt(catch.body, indent + 1, out)
+    else:
+        out.append(f"{pad}{stmt!r}")
+
+
+def format_method(umethod: u.UMethod) -> str:
+    """Render a UAST method as an indented pseudo-code listing."""
+    out = [f"method {umethod.method.qualified_name}"]
+    _format_stmt(umethod.body, 1, out)
+    return "\n".join(out)

@@ -1,0 +1,33 @@
+"""Shared test helpers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.pipeline import compile_to_module
+from repro.interp.interpreter import Interpreter
+
+
+def run_java(source: str, *, optimize: bool = False, class_name=None,
+             method: str = "main", max_steps: int = 5_000_000):
+    """Compile and execute a MiniJava++ program; returns ExecutionResult."""
+    module = compile_to_module(source, optimize=optimize)
+    interp = Interpreter(module, max_steps=max_steps)
+    return interp.run_main(class_name, method)
+
+
+def stdout_of(source: str, **kwargs) -> str:
+    result = run_java(source, **kwargs)
+    assert result.exception is None, \
+        f"unexpected {result.exception_name()}; stdout so far:\n{result.stdout}"
+    return result.stdout
+
+
+def main_wrap(body: str, extra: str = "") -> str:
+    """Wrap statements into a minimal runnable class."""
+    return f"class Main {{ {extra}\n static void main() {{\n{body}\n}} }}"
+
+
+@pytest.fixture
+def compile_module():
+    return compile_to_module

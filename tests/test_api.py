@@ -1,0 +1,73 @@
+"""Public API (repro top-level) tests — the five-call pipeline."""
+
+import pytest
+
+import repro
+from repro import (
+    compile_source,
+    compile_to_bytecode,
+    decode_module,
+    encode_module,
+    run_module,
+)
+
+SOURCE = """
+class Fib {
+    static int fib(int n) {
+        if (n < 2) return n;
+        return fib(n - 1) + fib(n - 2);
+    }
+    static void main() {
+        System.out.println(fib(12));
+    }
+}
+"""
+
+
+def test_version():
+    assert repro.__version__
+
+
+def test_five_call_pipeline():
+    module = compile_source(SOURCE, optimize=True)
+    wire = encode_module(module)
+    received = decode_module(wire)
+    result = run_module(received)
+    assert result.stdout == "144\n"
+    assert result.exception is None
+
+
+def test_compile_source_flags():
+    plain = compile_source(SOURCE)
+    unpruned = compile_source(SOURCE, prune_phis=False)
+    optimized = compile_source(SOURCE, optimize=True)
+    assert optimized.instruction_count() <= plain.instruction_count()
+    assert plain.count_opcodes("phi") <= unpruned.count_opcodes("phi")
+
+
+def test_run_module_selects_class_and_method():
+    source = ("class A { static void main() "
+              "{ System.out.println(\"a\"); }"
+              " static void other() { System.out.println(\"o\"); } }")
+    module = compile_source(source)
+    assert run_module(module, "A").stdout == "a\n"
+    assert run_module(module, "A", method="other").stdout == "o\n"
+
+
+def test_compile_to_bytecode_returns_classes():
+    classes = compile_to_bytecode(SOURCE)
+    assert len(classes) == 1
+    assert classes[0].info.name == "Fib"
+    assert classes[0].instruction_count() > 0
+
+
+def test_compile_error_surfaces():
+    from repro.frontend.errors import CompileError
+    with pytest.raises(CompileError):
+        compile_source("class Broken { int f() { return; } }")
+
+
+def test_decode_error_surfaces():
+    from repro.encode.deserializer import DecodeError
+    with pytest.raises(DecodeError):
+        decode_module(b"not a module")

@@ -1,0 +1,76 @@
+"""Tests for the measurement harness itself (tables, metrics, runner)."""
+
+import pytest
+
+from repro.bench.metrics import ClassMetrics, measure_program
+from repro.bench.tables import (
+    _fmt_delta,
+    ablation_table,
+    figure5_table,
+    figure6_table,
+    phi_pruning_table,
+)
+
+
+class TestFormatting:
+    def test_delta_formatting(self):
+        assert _fmt_delta(100, 50) == "-50%"
+        assert _fmt_delta(100, 100) == "+0%"
+        assert _fmt_delta(100, 138) == "+38%"
+        assert _fmt_delta(0, 5) == "N/A"
+
+    def test_delta_pct_on_metrics(self):
+        row = ClassMetrics("P", "C")
+        assert row.delta_pct(0, 3) is None
+        assert row.delta_pct(10, 7) == -30
+
+
+class TestMeasurement:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        source = """
+        class Pair {
+            int a; int b;
+            Pair(int a, int b) { this.a = a; this.b = b; }
+            int total() { return a + b + a + b; }
+            static int run(Pair p) { return p.total() + p.total(); }
+        }
+        """
+        return measure_program("inline", source)
+
+    def test_row_per_class(self, rows):
+        assert [row.class_name for row in rows] == ["Pair"]
+
+    def test_all_columns_populated(self, rows):
+        row = rows[0]
+        assert row.bytecode_size > 0
+        assert row.tsa_size > 0
+        assert row.tsa_opt_size > 0
+        assert row.bytecode_insns > 0
+        assert row.tsa_insns > 0
+        assert row.tsa_opt_insns <= row.tsa_insns
+        assert row.nullchecks_after <= row.nullchecks_before
+
+    def test_tables_render(self, rows):
+        for text in (figure5_table(rows), figure6_table(rows)):
+            assert "Pair" in text
+            assert "TOTAL" in text
+
+    def test_other_tables_render(self):
+        pruning = phi_pruning_table([("P", 10, 7)])
+        assert "-30%" in pruning
+        ablation = ablation_table([("P", {"none": 10, "constprop": 9,
+                                          "cse": 8, "dce": 9, "all": 7})])
+        assert "P" in ablation
+
+
+class TestRunnerCommands:
+    def test_command_inventory(self):
+        from repro.bench.runner import COMMANDS
+        assert set(COMMANDS) == {"figure5", "figure6", "pruning",
+                                 "ablation", "verifycost", "jitspeed"}
+
+    def test_unknown_command_prints_usage(self, capsys):
+        from repro.bench.runner import main
+        assert main(["nope"]) == 2
+        assert "figure5" in capsys.readouterr().out

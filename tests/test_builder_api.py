@@ -1,0 +1,183 @@
+"""Tests for the programmatic builder (repro.tsa.builder)."""
+
+import pytest
+
+from repro.encode.deserializer import decode_module
+from repro.encode.serializer import encode_module
+from repro.interp.interpreter import Interpreter
+from repro.tsa.builder import BuildError, ModuleBuilder
+from repro.tsa.verifier import verify_module
+from repro.typesys.types import ArrayType, BOOLEAN, ClassType, INT
+
+
+def run(module, cls, method, args):
+    function = module.function_named(cls, method)
+    return Interpreter(module).run_function(function, args)
+
+
+class TestBasics:
+    def test_arithmetic_function(self):
+        mb = ModuleBuilder()
+        worker = mb.new_class("Worker")
+        with worker.method("add3", [("a", INT), ("b", INT), ("c", INT)],
+                           INT) as b:
+            b.ret(b.add(b.add(b.arg("a"), b.arg("b")), b.arg("c")))
+        module = mb.build()
+        assert run(module, "Worker", "add3", [1, 2, 3]).value == 6
+
+    def test_loop_with_locals(self):
+        mb = ModuleBuilder()
+        worker = mb.new_class("Worker")
+        with worker.method("triangle", [("n", INT)], INT) as b:
+            total = b.local(INT, "total", b.const(0))
+            i = b.local(INT, "i", b.const(0))
+            with b.while_(b.le(b.get(i), b.arg("n"))):
+                b.set(total, b.add(b.get(total), b.get(i)))
+                b.set(i, b.add(b.get(i), b.const(1)))
+            b.ret(b.get(total))
+        module = mb.build(optimize=True)
+        assert run(module, "Worker", "triangle", [10]).value == 55
+
+    def test_if_else(self):
+        mb = ModuleBuilder()
+        worker = mb.new_class("Worker")
+        with worker.method("max2", [("a", INT), ("b", INT)], INT) as b:
+            result = b.local(INT, "result", b.const(0))
+            if_ctx = b.if_(b.gt(b.arg("a"), b.arg("b")))
+            with if_ctx:
+                b.set(result, b.arg("a"))
+            with if_ctx.else_():
+                b.set(result, b.arg("b"))
+            b.ret(b.get(result))
+        module = mb.build()
+        assert run(module, "Worker", "max2", [3, 9]).value == 9
+        assert run(module, "Worker", "max2", [9, 3]).value == 9
+
+    def test_break_and_continue(self):
+        mb = ModuleBuilder()
+        worker = mb.new_class("Worker")
+        with worker.method("firstMultiple", [("k", INT)], INT) as b:
+            i = b.local(INT, "i", b.const(1))
+            found = b.local(INT, "found", b.const(-1))
+            with b.while_(b.lt(b.get(i), b.const(100))):
+                rem = b.local(INT, "rem",
+                              b.op("int.rem", b.get(i), b.arg("k")))
+                if_ctx = b.if_(b.ne(b.get(rem), b.const(0)))
+                with if_ctx:
+                    b.set(i, b.add(b.get(i), b.const(1)))
+                    b.continue_()
+                b.set(found, b.get(i))
+                b.break_()
+            b.ret(b.get(found))
+        module = mb.build()
+        assert run(module, "Worker", "firstMultiple", [7]).value == 7
+
+
+class TestObjects:
+    def _counter_module(self):
+        mb = ModuleBuilder()
+        counter = mb.new_class("Counter")
+        counter.field("count", INT)
+        with counter.method("bump", [("c", ClassType("Counter"))],
+                            INT) as b:
+            obj = b.arg("c")
+            b.set_field(obj, "count",
+                        b.add(b.get_field(obj, "count"), b.const(1)))
+            b.ret(b.get_field(obj, "count"))
+        with counter.method("fresh", [], ClassType("Counter")) as b:
+            b.ret(b.new("Counter"))
+        return mb.build()
+
+    def test_fields_and_new(self):
+        module = self._counter_module()
+        verify_module(module)
+        fresh = module.function_named("Counter", "fresh")
+        interp = Interpreter(module)
+        obj = interp.run_function(fresh, []).value
+        bump = module.function_named("Counter", "bump")
+        assert Interpreter(module).run_function(bump, [obj]).value == 1
+
+    def test_null_check_inserted_automatically(self):
+        module = self._counter_module()
+        bump = module.function_named("Counter", "bump")
+        result = Interpreter(module).run_function(bump, [None])
+        assert result.exception_name() == "java.lang.NullPointerException"
+
+    def test_arrays(self):
+        mb = ModuleBuilder()
+        worker = mb.new_class("Worker")
+        with worker.method("sum", [("xs", ArrayType(INT))], INT) as b:
+            total = b.local(INT, "total", b.const(0))
+            i = b.local(INT, "i", b.const(0))
+            with b.while_(b.lt(b.get(i), b.array_length(b.arg("xs")))):
+                b.set(total, b.add(b.get(total),
+                                   b.array_get(b.arg("xs"), b.get(i))))
+                b.set(i, b.add(b.get(i), b.const(1)))
+            b.ret(b.get(total))
+        module = mb.build(optimize=True)
+        from repro.interp.heap import ArrayRef
+        array = ArrayRef(ArrayType(INT), 4)
+        array.elements = [1, 2, 3, 4]
+        assert run(module, "Worker", "sum", [array]).value == 10
+
+    def test_library_calls(self):
+        mb = ModuleBuilder()
+        worker = mb.new_class("Worker")
+        with worker.method("shout", [], ClassType("java.lang.String")) as b:
+            greeting = b.const("hi")
+            b.eval(b.call_static("java.lang.System", "currentTimeMillis"))
+            b.ret(b.call(greeting, "concat", b.const("!")))
+        module = mb.build()
+        result = run(module, "Worker", "shout", [])
+        assert result.value.value == "hi!"
+
+
+class TestRoundTripAndErrors:
+    def test_built_module_encodes_and_decodes(self):
+        mb = ModuleBuilder()
+        worker = mb.new_class("Worker")
+        with worker.method("square", [("x", INT)], INT) as b:
+            b.ret(b.mul(b.arg("x"), b.arg("x")))
+        module = mb.build()
+        decoded = decode_module(encode_module(module))
+        verify_module(decoded)
+        assert run(decoded, "Worker", "square", [12]).value == 144
+
+    def test_unknown_parameter_rejected(self):
+        mb = ModuleBuilder()
+        worker = mb.new_class("Worker")
+        with pytest.raises(BuildError, match="no parameter"):
+            with worker.method("f", [("x", INT)], INT) as b:
+                b.ret(b.arg("y"))
+
+    def test_break_outside_loop_rejected(self):
+        mb = ModuleBuilder()
+        worker = mb.new_class("Worker")
+        with pytest.raises(BuildError, match="outside"):
+            with worker.method("f", [], INT) as b:
+                b.break_()
+
+    def test_unfinished_body_rejected(self):
+        mb = ModuleBuilder()
+        worker = mb.new_class("Worker")
+        worker.method("orphan", [], INT)  # never given a body
+        with pytest.raises(BuildError, match="never completed"):
+            mb.build()
+
+    def test_custom_class_hierarchy(self):
+        mb = ModuleBuilder()
+        base = mb.new_class("Base")
+        with base.method("tag", [], INT, static=False) as b:
+            b.ret(b.const(1))
+        derived = mb.new_class("Derived", superclass="Base")
+        with derived.method("tag", [], INT, static=False) as b:
+            b.ret(b.const(2))
+        caller = mb.new_class("Caller")
+        with caller.method("callTag", [("o", ClassType("Base"))],
+                           INT) as b:
+            b.ret(b.call(b.arg("o"), "tag"))
+        module = mb.build()
+        verify_module(module)
+        from repro.interp.heap import ObjectRef
+        derived_obj = ObjectRef(module.world.require("Derived"))
+        assert run(module, "Caller", "callTag", [derived_obj]).value == 2

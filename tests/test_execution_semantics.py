@@ -1,0 +1,769 @@
+"""End-to-end execution semantics: source -> SafeTSA -> interpreter.
+
+Each test pins an observable Java behaviour: arithmetic overflow rules,
+evaluation order, dispatch, exception routing, string semantics.
+"""
+
+import pytest
+
+from tests.conftest import main_wrap, run_java, stdout_of
+
+
+class TestArithmetic:
+    def test_int_overflow_wraps(self):
+        out = stdout_of(main_wrap(
+            "int x = 2147483647; x = x + 1; System.out.println(x);"))
+        assert out == "-2147483648\n"
+
+    def test_int_min_division_wraps(self):
+        out = stdout_of(main_wrap(
+            "int x = -2147483648; System.out.println(x / -1);"))
+        assert out == "-2147483648\n"
+
+    def test_division_truncates_toward_zero(self):
+        out = stdout_of(main_wrap(
+            "System.out.println(-7 / 2); System.out.println(7 / -2);"))
+        assert out == "-3\n-3\n"
+
+    def test_remainder_sign_follows_dividend(self):
+        out = stdout_of(main_wrap(
+            "System.out.println(-7 % 3); System.out.println(7 % -3);"))
+        assert out == "-1\n1\n"
+
+    def test_shift_amount_masked(self):
+        out = stdout_of(main_wrap("System.out.println(1 << 33);"))
+        assert out == "2\n"
+
+    def test_long_shift_amount_masked_to_64(self):
+        out = stdout_of(main_wrap("System.out.println(1L << 33);"))
+        assert out == "8589934592\n"
+
+    def test_unsigned_shift_right(self):
+        out = stdout_of(main_wrap("System.out.println(-1 >>> 28);"))
+        assert out == "15\n"
+
+    def test_long_multiplication_wraps(self):
+        out = stdout_of(main_wrap(
+            "long x = 9223372036854775807L; System.out.println(x * 2L);"))
+        assert out == "-2\n"
+
+    def test_double_division_never_traps(self):
+        out = stdout_of(main_wrap(
+            "double d = 1.0 / 0.0; System.out.println(d);"))
+        assert out == "Infinity\n"
+
+    def test_double_nan_compares_false(self):
+        out = stdout_of(main_wrap(
+            "double n = 0.0 / 0.0;"
+            "System.out.println(n < 1.0);"
+            "System.out.println(n >= 1.0);"
+            "System.out.println(n == n);"))
+        assert out == "false\nfalse\nfalse\n"
+
+    def test_char_arithmetic_promotes_to_int(self):
+        out = stdout_of(main_wrap(
+            "char c = 'a'; System.out.println(c + 1);"))
+        assert out == "98\n"
+
+    def test_int_to_char_narrowing(self):
+        out = stdout_of(main_wrap(
+            "int x = 65; char c = (char) x; System.out.println(c);"))
+        assert out == "A\n"
+
+    def test_double_to_int_truncation_and_saturation(self):
+        out = stdout_of(main_wrap(
+            "System.out.println((int) -2.9);"
+            "System.out.println((int) 1e20);"
+            "System.out.println((int) (0.0 / 0.0));"))
+        assert out == "-2\n2147483647\n0\n"
+
+    def test_float_rounding(self):
+        out = stdout_of(main_wrap(
+            "float f = 0.1f; double d = f; System.out.println(d < 0.1001);"))
+        assert out == "true\n"
+
+    def test_integer_division_by_zero_throws(self):
+        result = run_java(main_wrap(
+            "int z = 0; System.out.println(4 / z);"))
+        assert result.exception_name() == "java.lang.ArithmeticException"
+
+    def test_compound_assignment_implicit_narrowing(self):
+        out = stdout_of(main_wrap(
+            "char c = 'a'; c += 2; System.out.println(c);"))
+        assert out == "c\n"
+
+    def test_compound_assignment_with_double_rhs(self):
+        out = stdout_of(main_wrap(
+            "int x = 7; x += 0.9; System.out.println(x);"))
+        assert out == "7\n"
+
+
+class TestEvaluationOrder:
+    def test_left_to_right_argument_evaluation(self):
+        src = """
+        class Main {
+            static int trace;
+            static int mark(int v) { trace = trace * 10 + v; return v; }
+            static void main() {
+                int sum = mark(1) + mark(2) * mark(3);
+                System.out.println(trace);
+                System.out.println(sum);
+            }
+        }
+        """
+        assert stdout_of(src) == "123\n7\n"
+
+    def test_postfix_increment_value(self):
+        out = stdout_of(main_wrap(
+            "int i = 5; int j = i++; System.out.println(j + \" \" + i);"))
+        assert out == "5 6\n"
+
+    def test_prefix_increment_value(self):
+        out = stdout_of(main_wrap(
+            "int i = 5; int j = ++i; System.out.println(j + \" \" + i);"))
+        assert out == "6 6\n"
+
+    def test_compound_assign_reads_lhs_before_rhs(self):
+        src = """
+        class Main {
+            static int x = 10;
+            static int bump() { x = 100; return 1; }
+            static void main() {
+                x += bump();
+                System.out.println(x);
+            }
+        }
+        """
+        # Java: lhs value (10) is saved before the rhs runs
+        assert stdout_of(src) == "11\n"
+
+    def test_array_store_index_evaluated_once(self):
+        src = """
+        class Main {
+            static int calls;
+            static int idx() { calls++; return 2; }
+            static void main() {
+                int[] a = new int[4];
+                a[idx()] += 5;
+                System.out.println(a[2] + " " + calls);
+            }
+        }
+        """
+        assert stdout_of(src) == "5 1\n"
+
+    def test_short_circuit_and(self):
+        src = """
+        class Main {
+            static int calls;
+            static boolean probe() { calls++; return true; }
+            static void main() {
+                boolean r = false && probe();
+                System.out.println(r + " " + calls);
+            }
+        }
+        """
+        assert stdout_of(src) == "false 0\n"
+
+    def test_short_circuit_or(self):
+        src = """
+        class Main {
+            static int calls;
+            static boolean probe() { calls++; return false; }
+            static void main() {
+                boolean r = true || probe();
+                System.out.println(r + " " + calls);
+            }
+        }
+        """
+        assert stdout_of(src) == "true 0\n"
+
+    def test_ternary_evaluates_one_arm(self):
+        src = """
+        class Main {
+            static int calls;
+            static int mark(int v) { calls++; return v; }
+            static void main() {
+                int r = 1 < 2 ? mark(10) : mark(20);
+                System.out.println(r + " " + calls);
+            }
+        }
+        """
+        assert stdout_of(src) == "10 1\n"
+
+
+class TestControlFlow:
+    def test_while_loop(self):
+        out = stdout_of(main_wrap(
+            "int s = 0; int i = 0; while (i < 5) { s += i; i++; }"
+            "System.out.println(s);"))
+        assert out == "10\n"
+
+    def test_do_while_runs_at_least_once(self):
+        out = stdout_of(main_wrap(
+            "int n = 0; do { n++; } while (false); System.out.println(n);"))
+        assert out == "1\n"
+
+    def test_for_with_continue(self):
+        out = stdout_of(main_wrap(
+            "int s = 0;"
+            "for (int i = 0; i < 6; i++) { if (i % 2 == 0) continue; s += i; }"
+            "System.out.println(s);"))
+        assert out == "9\n"
+
+    def test_nested_loop_labeled_break(self):
+        out = stdout_of(main_wrap(
+            "int c = 0;"
+            "outer: for (int i = 0; i < 10; i++)"
+            "  for (int j = 0; j < 10; j++) {"
+            "    c++; if (i * j == 6) break outer; }"
+            "System.out.println(c);"))
+        assert out == "17\n"
+
+    def test_labeled_continue(self):
+        out = stdout_of(main_wrap(
+            "int c = 0;"
+            "outer: for (int i = 0; i < 3; i++)"
+            "  for (int j = 0; j < 3; j++) {"
+            "    if (j == 1) continue outer; c++; }"
+            "System.out.println(c);"))
+        assert out == "3\n"
+
+    def test_switch_with_fallthrough(self):
+        src = main_wrap(
+            "for (int i = 0; i < 4; i++) {"
+            "  int r = 0;"
+            "  switch (i) {"
+            "    case 0: r += 1;"
+            "    case 1: r += 10; break;"
+            "    case 2: r += 100; break;"
+            "    default: r = -1;"
+            "  }"
+            "  System.out.println(r);"
+            "}")
+        assert stdout_of(src) == "11\n10\n100\n-1\n"
+
+    def test_switch_without_default(self):
+        out = stdout_of(main_wrap(
+            "int r = 7; switch (99) { case 1: r = 0; } "
+            "System.out.println(r);"))
+        assert out == "7\n"
+
+    def test_while_with_sideeffect_condition(self):
+        src = """
+        class Main {
+            static int n = 3;
+            static boolean dec() { n--; return n >= 0; }
+            static void main() {
+                int c = 0;
+                while (dec()) c++;
+                System.out.println(c + " " + n);
+            }
+        }
+        """
+        assert stdout_of(src) == "3 -1\n"
+
+    def test_do_while_with_sideeffect_condition(self):
+        src = """
+        class Main {
+            static int n;
+            static boolean next() { n++; return n < 3; }
+            static void main() {
+                int c = 0;
+                do { c++; } while (next());
+                System.out.println(c + " " + n);
+            }
+        }
+        """
+        assert stdout_of(src) == "3 3\n"
+
+
+class TestExceptions:
+    def test_catch_matching_type(self):
+        out = stdout_of(main_wrap(
+            "try { int z = 0; int q = 1 / z; }"
+            "catch (ArithmeticException e) "
+            "{ System.out.println(\"div:\" + e.getMessage()); }"))
+        assert out == "div:/ by zero\n"
+
+    def test_catch_subtype_via_supertype_clause(self):
+        out = stdout_of(main_wrap(
+            "try { int z = 0; int q = 1 / z; }"
+            "catch (RuntimeException e) { System.out.println(\"rt\"); }"))
+        assert out == "rt\n"
+
+    def test_unmatched_exception_propagates(self):
+        result = run_java(main_wrap(
+            "try { int z = 0; int q = 1 / z; }"
+            "catch (NullPointerException e) { System.out.println(\"no\"); }"))
+        assert result.exception_name() == "java.lang.ArithmeticException"
+
+    def test_finally_runs_on_normal_path(self):
+        out = stdout_of(main_wrap(
+            "try { System.out.println(\"body\"); }"
+            "finally { System.out.println(\"fin\"); }"))
+        assert out == "body\nfin\n"
+
+    def test_finally_runs_on_exception_path(self):
+        result = run_java(main_wrap(
+            "try { int z = 0; int q = 1 / z; }"
+            "finally { System.out.println(\"fin\"); }"))
+        assert result.stdout == "fin\n"
+        assert result.exception_name() == "java.lang.ArithmeticException"
+
+    def test_finally_runs_on_return(self):
+        src = """
+        class Main {
+            static int f() {
+                try { return 1; }
+                finally { System.out.println("fin"); }
+            }
+            static void main() { System.out.println(f()); }
+        }
+        """
+        assert stdout_of(src) == "fin\n1\n"
+
+    def test_finally_runs_on_break(self):
+        out = stdout_of(main_wrap(
+            "for (int i = 0; i < 3; i++) {"
+            "  try { if (i == 1) break; }"
+            "  finally { System.out.println(\"fin\" + i); }"
+            "}"
+            "System.out.println(\"after\");"))
+        assert out == "fin0\nfin1\nafter\n"
+
+    def test_return_value_computed_before_finally(self):
+        src = """
+        class Main {
+            static int x = 1;
+            static int f() {
+                try { return x; }
+                finally { x = 99; }
+            }
+            static void main() {
+                System.out.println(f() + " " + x);
+            }
+        }
+        """
+        assert stdout_of(src) == "1 99\n"
+
+    def test_nested_finally_ordering(self):
+        src = """
+        class Main {
+            static int f() {
+                try {
+                    try { return 1; }
+                    finally { System.out.println("inner"); }
+                } finally { System.out.println("outer"); }
+            }
+            static void main() { System.out.println(f()); }
+        }
+        """
+        assert stdout_of(src) == "inner\nouter\n1\n"
+
+    def test_exception_in_catch_reaches_outer_handler(self):
+        out = stdout_of(main_wrap(
+            "try {"
+            "  try { int z = 0; int q = 1 / z; }"
+            "  catch (ArithmeticException e) { throw new "
+            "IllegalStateException(\"from catch\"); }"
+            "} catch (IllegalStateException e) "
+            "{ System.out.println(e.getMessage()); }"))
+        assert out == "from catch\n"
+
+    def test_rethrow_reaches_outer_try(self):
+        out = stdout_of(main_wrap(
+            "try {"
+            "  try { throw new IllegalStateException(\"x\"); }"
+            "  catch (NullPointerException e) { System.out.println(\"no\"); }"
+            "} catch (IllegalStateException e) "
+            "{ System.out.println(\"outer \" + e.getMessage()); }"))
+        assert out == "outer x\n"
+
+    def test_throw_null_becomes_npe(self):
+        result = run_java(main_wrap(
+            "RuntimeException e = null; throw e;"))
+        assert result.exception_name() == "java.lang.NullPointerException"
+
+    def test_user_exception_class(self):
+        src = """
+        class AppError extends Exception {
+            int code;
+            AppError(int code) { this.code = code; }
+        }
+        class Main {
+            static void main() {
+                try { throw new AppError(42); }
+                catch (AppError e) { System.out.println(e.code); }
+            }
+        }
+        """
+        assert stdout_of(src) == "42\n"
+
+    def test_exception_point_variable_values(self):
+        # the catch must observe the value at the exception point
+        out = stdout_of(main_wrap(
+            "int x = 1;"
+            "try { x = 2; int z = 0; int q = 1 / z; x = 3; }"
+            "catch (ArithmeticException e) { System.out.println(x); }"))
+        assert out == "2\n"
+
+
+class TestObjectsAndDispatch:
+    def test_virtual_dispatch_overridden(self):
+        src = """
+        class A { int f() { return 1; } }
+        class B extends A { int f() { return 2; } }
+        class Main {
+            static void main() {
+                A x = new B();
+                System.out.println(x.f());
+            }
+        }
+        """
+        assert stdout_of(src) == "2\n"
+
+    def test_super_call_is_statically_bound(self):
+        src = """
+        class A { int f() { return 1; } }
+        class B extends A {
+            int f() { return super.f() + 10; }
+        }
+        class Main {
+            static void main() { System.out.println(new B().f()); }
+        }
+        """
+        assert stdout_of(src) == "11\n"
+
+    def test_field_initializers_run_in_constructor(self):
+        src = """
+        class Box { int v = 41; Box() { v = v + 1; } }
+        class Main {
+            static void main() { System.out.println(new Box().v); }
+        }
+        """
+        assert stdout_of(src) == "42\n"
+
+    def test_this_constructor_delegation_skips_field_inits(self):
+        src = """
+        class Box {
+            int v = 5;
+            int w;
+            Box() { this(10); }
+            Box(int w) { this.w = w; }
+        }
+        class Main {
+            static void main() {
+                Box b = new Box();
+                System.out.println(b.v + " " + b.w);
+            }
+        }
+        """
+        assert stdout_of(src) == "5 10\n"
+
+    def test_static_initializer_runs(self):
+        src = """
+        class Config { static int limit = 17; }
+        class Main {
+            static void main() { System.out.println(Config.limit); }
+        }
+        """
+        assert stdout_of(src) == "17\n"
+
+    def test_overload_resolution_most_specific(self):
+        src = """
+        class Main {
+            static String f(Object o) { return "obj"; }
+            static String f(String s) { return "str"; }
+            static void main() { System.out.println(f("x")); }
+        }
+        """
+        assert stdout_of(src) == "str\n"
+
+    def test_overload_by_primitive_widening(self):
+        src = """
+        class Main {
+            static String f(long v) { return "long"; }
+            static String f(double v) { return "double"; }
+            static void main() { System.out.println(f(3)); }
+        }
+        """
+        assert stdout_of(src) == "long\n"
+
+    def test_checked_cast_success_and_failure(self):
+        src = """
+        class A { }
+        class B extends A { int x = 3; }
+        class Main {
+            static void main() {
+                A good = new B();
+                B b = (B) good;
+                System.out.println(b.x);
+                A bad = new A();
+                try { B c = (B) bad; }
+                catch (ClassCastException e) { System.out.println("cce"); }
+            }
+        }
+        """
+        assert stdout_of(src) == "3\ncce\n"
+
+    def test_cast_of_null_succeeds(self):
+        src = """
+        class A { }
+        class B extends A { }
+        class Main {
+            static void main() {
+                A a = null;
+                B b = (B) a;
+                System.out.println(b == null);
+            }
+        }
+        """
+        assert stdout_of(src) == "true\n"
+
+    def test_instanceof_null_is_false(self):
+        out = stdout_of(main_wrap(
+            "String s = null; System.out.println(s instanceof String);"))
+        assert out == "false\n"
+
+    def test_recursion(self):
+        src = """
+        class Main {
+            static int fib(int n) {
+                if (n < 2) return n;
+                return fib(n - 1) + fib(n - 2);
+            }
+            static void main() { System.out.println(fib(15)); }
+        }
+        """
+        assert stdout_of(src) == "610\n"
+
+    def test_mutual_recursion(self):
+        src = """
+        class Main {
+            static boolean even(int n) { return n == 0 ? true : odd(n - 1); }
+            static boolean odd(int n) { return n == 0 ? false : even(n - 1); }
+            static void main() { System.out.println(even(10)); }
+        }
+        """
+        assert stdout_of(src) == "true\n"
+
+
+class TestArraysAndStrings:
+    def test_array_default_values(self):
+        out = stdout_of(main_wrap(
+            "int[] a = new int[2]; double[] d = new double[1];"
+            "boolean[] b = new boolean[1]; String[] s = new String[1];"
+            "System.out.println(a[0] + \" \" + d[0] + \" \" + b[0] + \" \""
+            " + s[0]);"))
+        assert out == "0 0.0 false null\n"
+
+    def test_multidim_array(self):
+        out = stdout_of(main_wrap(
+            "int[][] g = new int[3][4];"
+            "g[2][3] = 9;"
+            "System.out.println(g.length + \" \" + g[0].length + \" \""
+            " + g[2][3]);"))
+        assert out == "3 4 9\n"
+
+    def test_negative_array_size_throws(self):
+        result = run_java(main_wrap("int n = -2; int[] a = new int[n];"))
+        assert result.exception_name() == \
+            "java.lang.NegativeArraySizeException"
+
+    def test_array_covariant_assignment(self):
+        src = """
+        class A { }
+        class B extends A { }
+        class Main {
+            static void main() {
+                A[] arr = new A[2];
+                arr[0] = new B();
+                System.out.println(arr[0] instanceof B);
+            }
+        }
+        """
+        assert stdout_of(src) == "true\n"
+
+    def test_covariant_store_check_throws(self):
+        src = """
+        class A { }
+        class B extends A { }
+        class Main {
+            static void main() {
+                A[] arr = new B[2];
+                arr[0] = new A();
+            }
+        }
+        """
+        result = run_java(src)
+        assert result.exception_name() == "java.lang.ArrayStoreException"
+
+    def test_covariant_store_check_catchable(self):
+        src = """
+        class A { }
+        class B extends A { }
+        class Main {
+            static void main() {
+                A[] arr = new B[1];
+                try { arr[0] = new A(); }
+                catch (ArrayStoreException e)
+                { System.out.println("caught"); }
+            }
+        }
+        """
+        assert stdout_of(src) == "caught\n"
+
+    def test_null_store_into_covariant_array_allowed(self):
+        src = """
+        class A { }
+        class B extends A { }
+        class Main {
+            static void main() {
+                A[] arr = new B[1];
+                arr[0] = null;
+                System.out.println(arr[0] == null);
+            }
+        }
+        """
+        assert stdout_of(src) == "true\n"
+
+    def test_string_equality_vs_equals(self):
+        out = stdout_of(main_wrap(
+            'String a = "hi"; String b = "hi";'
+            'String c = a.concat("");'
+            "System.out.println(a == b);"       # literals are interned
+            "System.out.println(a == c);"
+            "System.out.println(a.equals(c));"))
+        assert out == "true\nfalse\ntrue\n"
+
+    def test_string_methods(self):
+        out = stdout_of(main_wrap(
+            'String s = "hello world";'
+            "System.out.println(s.substring(6, 11));"
+            "System.out.println(s.indexOf(\"world\"));"
+            "System.out.println(s.startsWith(\"hell\"));"
+            "System.out.println(s.compareTo(\"hello\") > 0);"))
+        assert out == "world\n6\ntrue\ntrue\n"
+
+    def test_null_string_concat(self):
+        out = stdout_of(main_wrap(
+            'String s = null; System.out.println("v=" + s);'))
+        assert out == "v=null\n"
+
+    def test_concat_of_all_primitive_types(self):
+        out = stdout_of(main_wrap(
+            'System.out.println("" + 1 + " " + 2L + " " + 1.5 + " " + \'c\''
+            ' + " " + true);'))
+        assert out == "1 2 1.5 c true\n"
+
+    def test_null_array_access_throws_npe(self):
+        result = run_java(main_wrap("int[] a = null; int x = a[0];"))
+        assert result.exception_name() == "java.lang.NullPointerException"
+
+    def test_string_builder(self):
+        out = stdout_of(main_wrap(
+            "StringBuilder sb = new StringBuilder();"
+            'sb.append("a").append(1).append(true);'
+            "System.out.println(sb.toString());"))
+        assert out == "a1true\n"
+
+
+class TestOptimizedExecutionMatches:
+    """The optimizer must preserve all observable behaviour."""
+
+    SOURCES = [
+        main_wrap("int s = 0; for (int i = 0; i < 9; i++) s += i * i;"
+                  "System.out.println(s);"),
+        main_wrap("int[] a = new int[5]; for (int i = 0; i < 5; i++)"
+                  "a[i] = i; int t = 0; for (int i = 0; i < 5; i++)"
+                  "t += a[i] * a[i]; System.out.println(t);"),
+        main_wrap("try { int z = 0; int q = 3 / z; }"
+                  "catch (ArithmeticException e)"
+                  "{ System.out.println(\"caught\"); }"),
+    ]
+
+    @pytest.mark.parametrize("index", range(len(SOURCES)))
+    def test_optimized_output_identical(self, index):
+        source = self.SOURCES[index]
+        plain = run_java(source, optimize=False)
+        optimized = run_java(source, optimize=True)
+        assert plain.stdout == optimized.stdout
+        assert plain.exception_name() == optimized.exception_name()
+
+
+class TestAbstractAndPolymorphism:
+    def test_abstract_method_dispatch(self):
+        src = """
+        abstract class Shape {
+            abstract int area();
+            int doubled() { return area() * 2; }
+        }
+        class Square extends Shape {
+            int side;
+            Square(int side) { this.side = side; }
+            int area() { return side * side; }
+        }
+        class Main {
+            static void main() {
+                Shape s = new Square(3);
+                System.out.println(s.area() + " " + s.doubled());
+            }
+        }
+        """
+        assert stdout_of(src) == "9 18\n"
+
+    def test_three_level_override_chain(self):
+        src = """
+        class A { String who() { return "A"; } }
+        class B extends A { String who() { return "B" + super.who(); } }
+        class C extends B { String who() { return "C" + super.who(); } }
+        class Main {
+            static void main() {
+                A x = new C();
+                System.out.println(x.who());
+            }
+        }
+        """
+        assert stdout_of(src) == "CBA\n"
+
+    def test_field_shadowing_is_static(self):
+        # Java: fields are resolved statically by the reference type
+        src = """
+        class A { int tag = 1; }
+        class B extends A { }
+        class Main {
+            static void main() {
+                B b = new B();
+                A a = b;
+                System.out.println(a.tag + b.tag);
+            }
+        }
+        """
+        assert stdout_of(src) == "2\n"
+
+    def test_constructor_calls_overridden_method(self):
+        # Java pitfall: the subclass override runs before the subclass
+        # constructor body (fields still default-initialised)
+        src = """
+        class A { A() { System.out.println("init " + describe()); }
+                  String describe() { return "A"; } }
+        class B extends A {
+            int v = 7;
+            String describe() { return "B v=" + v; }
+        }
+        class Main {
+            static void main() {
+                B b = new B();
+                System.out.println("after " + b.describe());
+            }
+        }
+        """
+        assert stdout_of(src) == "init B v=0\nafter B v=7\n"
+
+    def test_inherited_static_accessible_via_subclass(self):
+        src = """
+        class A { static int x = 4; }
+        class B extends A { }
+        class Main { static void main() { System.out.println(B.x); } }
+        """
+        assert stdout_of(src) == "4\n"

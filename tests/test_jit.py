@@ -1,0 +1,150 @@
+"""Consumer-side code generation (repro.interp.jit) tests.
+
+The JIT must be observably identical to the interpreter on every
+program -- exceptions, dispatch, covariance checks included.
+"""
+
+import pytest
+
+from repro.bench.corpus import CORPUS_PROGRAMS, corpus_source
+from repro.encode.deserializer import decode_module
+from repro.encode.serializer import encode_module
+from repro.interp.interpreter import Interpreter
+from repro.interp.jit import JitCompiler
+from repro.pipeline import compile_to_module
+from tests.conftest import main_wrap
+
+
+def jit_run(source, main_class=None, optimize=False):
+    module = compile_to_module(source, optimize=optimize)
+    return JitCompiler(module).run_main(main_class)
+
+
+@pytest.mark.parametrize("program", CORPUS_PROGRAMS)
+def test_jit_matches_interpreter_on_corpus(program):
+    source = corpus_source(program)
+    module = compile_to_module(source, optimize=True)
+    expected = Interpreter(module, max_steps=80_000_000).run_main(program)
+    actual = JitCompiler(module).run_main(program)
+    assert actual.stdout == expected.stdout
+    assert actual.exception_name() == expected.exception_name()
+
+
+def test_jit_runs_decoded_modules():
+    source = corpus_source("BitSieve")
+    module = decode_module(encode_module(
+        compile_to_module(source, optimize=True)))
+    result = JitCompiler(module).run_main("BitSieve")
+    assert result.stdout.startswith("primes=2262")
+
+
+class TestJitSemantics:
+    def test_arithmetic_wrapping(self):
+        result = jit_run(main_wrap(
+            "int x = 2147483647; System.out.println(x + 1);"))
+        assert result.stdout == "-2147483648\n"
+
+    def test_exception_caught(self):
+        result = jit_run(main_wrap(
+            "try { int z = 0; int q = 1 / z; }"
+            "catch (ArithmeticException e)"
+            "{ System.out.println(\"caught \" + e.getMessage()); }"))
+        assert result.stdout == "caught / by zero\n"
+
+    def test_exception_propagates(self):
+        result = jit_run(main_wrap("String s = null; int n = s.length();"))
+        assert result.exception_name() == "java.lang.NullPointerException"
+
+    def test_finally_on_all_paths(self):
+        src = """
+        class Main {
+            static int f(boolean fail) {
+                try {
+                    if (fail) { int z = 0; return 1 / z; }
+                    return 1;
+                } finally { System.out.println("fin"); }
+            }
+            static void main() {
+                System.out.println(f(false));
+                try { f(true); }
+                catch (ArithmeticException e) { System.out.println("top"); }
+            }
+        }
+        """
+        result = jit_run(src)
+        assert result.stdout == "fin\n1\nfin\ntop\n"
+
+    def test_virtual_dispatch_memoization(self):
+        src = """
+        class A { int f() { return 1; } }
+        class B extends A { int f() { return 2; } }
+        class Main {
+            static void main() {
+                A[] xs = new A[6];
+                for (int i = 0; i < 6; i++)
+                    xs[i] = (i % 2 == 0) ? new A() : new B();
+                int total = 0;
+                for (int i = 0; i < 6; i++) total += xs[i].f();
+                System.out.println(total);
+            }
+        }
+        """
+        assert jit_run(src, "Main").stdout == "9\n"
+
+    def test_recursion_between_jitted_functions(self):
+        src = """
+        class Main {
+            static boolean even(int n) { return n == 0 ? true : odd(n - 1); }
+            static boolean odd(int n) { return n == 0 ? false : even(n - 1); }
+            static void main() { System.out.println(even(101)); }
+        }
+        """
+        assert jit_run(src).stdout == "false\n"
+
+    def test_array_store_check(self):
+        src = """
+        class A { }
+        class B extends A { }
+        class Main {
+            static void main() {
+                A[] arr = new B[1];
+                try { arr[0] = new A(); }
+                catch (ArrayStoreException e)
+                { System.out.println("store"); }
+            }
+        }
+        """
+        assert jit_run(src, "Main").stdout == "store\n"
+
+    def test_string_interning_identity(self):
+        result = jit_run(main_wrap(
+            'String a = "x"; String b = "x";'
+            "System.out.println(a == b);"))
+        assert result.stdout == "true\n"
+
+    def test_clinit_runs_before_main(self):
+        src = ("class Config { static int limit = 17; }"
+               "class Main { static void main() "
+               "{ System.out.println(Config.limit); } }")
+        assert jit_run(src, "Main").stdout == "17\n"
+
+    def test_optimized_module_same_behaviour(self):
+        source = corpus_source("Parser")
+        plain = jit_run(source, "Parser", optimize=False)
+        optimized = jit_run(source, "Parser", optimize=True)
+        assert plain.stdout == optimized.stdout
+
+
+def test_jit_is_faster_than_interpreter():
+    import time
+    source = corpus_source("BitSieve")
+    module = compile_to_module(source, optimize=True)
+    start = time.perf_counter()
+    Interpreter(module, max_steps=80_000_000).run_main("BitSieve")
+    interp_time = time.perf_counter() - start
+    jit = JitCompiler(module)
+    start = time.perf_counter()
+    jit.run_main("BitSieve")
+    jit_time = time.perf_counter() - start
+    assert jit_time < interp_time, \
+        f"jit {jit_time:.3f}s not faster than interp {interp_time:.3f}s"

@@ -1,0 +1,116 @@
+"""Unit tests for Java numeric semantics (repro.jmath)."""
+
+import math
+
+import pytest
+
+from repro import jmath
+
+
+class TestIntTruncation:
+    def test_i32_wraps_positive(self):
+        assert jmath.i32(2**31) == -(2**31)
+
+    def test_i32_wraps_negative(self):
+        assert jmath.i32(-(2**31) - 1) == 2**31 - 1
+
+    def test_i32_identity_in_range(self):
+        for value in (0, 1, -1, 2**31 - 1, -(2**31)):
+            assert jmath.i32(value) == value
+
+    def test_i64_wraps(self):
+        assert jmath.i64(2**63) == -(2**63)
+        assert jmath.i64(2**64) == 0
+
+    def test_i64_identity(self):
+        assert jmath.i64(jmath.LONG_MAX) == jmath.LONG_MAX
+
+
+class TestDivision:
+    def test_idiv_truncates_toward_zero(self):
+        assert jmath.idiv(7, 2) == 3
+        assert jmath.idiv(-7, 2) == -3
+        assert jmath.idiv(7, -2) == -3
+        assert jmath.idiv(-7, -2) == 3
+
+    def test_irem_sign_of_dividend(self):
+        assert jmath.irem(7, 3) == 1
+        assert jmath.irem(-7, 3) == -1
+        assert jmath.irem(7, -3) == 1
+        assert jmath.irem(-7, -3) == -1
+
+    def test_division_by_zero_raises(self):
+        with pytest.raises(ZeroDivisionError):
+            jmath.idiv(1, 0)
+        with pytest.raises(ZeroDivisionError):
+            jmath.irem(1, 0)
+
+    def test_idiv_rem_invariant(self):
+        for a in (-17, -5, 0, 3, 17, 2**31 - 1):
+            for b in (-7, -1, 1, 3, 9):
+                assert jmath.idiv(a, b) * b + jmath.irem(a, b) == a
+
+
+class TestShifts:
+    def test_shift_count_masked_32(self):
+        assert jmath.ishl(1, 33, 32) == 2
+        assert jmath.ishl(1, 32, 32) == 1
+
+    def test_shift_count_masked_64(self):
+        assert jmath.ishl(1, 65, 64) == 2
+
+    def test_arithmetic_shift_preserves_sign(self):
+        assert jmath.ishr(-8, 1, 32) == -4
+
+    def test_logical_shift_zero_extends(self):
+        assert jmath.iushr(-1, 28, 32) == 15
+        assert jmath.iushr(-1, 0, 32) == -1  # count 0: unchanged
+
+    def test_long_unsigned_shift(self):
+        assert jmath.iushr(-1, 32, 64) == 0xFFFFFFFF
+
+
+class TestFloating:
+    def test_fdiv_by_zero_gives_infinity(self):
+        assert jmath.fdiv(1.0, 0.0) == math.inf
+        assert jmath.fdiv(-1.0, 0.0) == -math.inf
+
+    def test_zero_over_zero_is_nan(self):
+        assert math.isnan(jmath.fdiv(0.0, 0.0))
+
+    def test_frem_is_fmod_not_python_mod(self):
+        assert jmath.frem(-7.0, 2.0) == -1.0  # Python % gives 1.0
+
+    def test_frem_nan_cases(self):
+        assert math.isnan(jmath.frem(1.0, 0.0))
+        assert math.isnan(jmath.frem(math.inf, 2.0))
+        assert jmath.frem(3.5, math.inf) == 3.5
+
+    def test_f32_rounds(self):
+        assert jmath.f32(0.1) != 0.1
+        assert abs(jmath.f32(0.1) - 0.1) < 1e-8
+
+
+class TestNarrowing:
+    def test_d2i_saturates(self):
+        assert jmath.d2i(1e20) == jmath.INT_MAX
+        assert jmath.d2i(-1e20) == jmath.INT_MIN
+
+    def test_d2i_nan_is_zero(self):
+        assert jmath.d2i(math.nan) == 0
+
+    def test_d2i_truncates(self):
+        assert jmath.d2i(-2.9) == -2
+        assert jmath.d2i(2.9) == 2
+
+    def test_d2l_saturates(self):
+        assert jmath.d2l(1e30) == jmath.LONG_MAX
+
+    def test_l2i_truncates(self):
+        assert jmath.l2i(2**32 + 5) == 5
+        assert jmath.l2i(2**31) == -(2**31)
+
+    def test_i2c_zero_extends(self):
+        assert jmath.i2c(-1) == 0xFFFF
+        assert jmath.i2c(65) == 65
+        assert jmath.i2c(0x12345) == 0x2345

@@ -1,0 +1,127 @@
+"""Unit tests for the MiniJava++ lexer."""
+
+import pytest
+
+from repro.frontend.errors import CompileError
+from repro.frontend.lexer import tokenize
+
+
+def kinds(source):
+    return [t.kind for t in tokenize(source)][:-1]  # drop eof
+
+
+def values(source):
+    return [t.value for t in tokenize(source)][:-1]
+
+
+class TestBasics:
+    def test_empty_source(self):
+        tokens = tokenize("")
+        assert len(tokens) == 1 and tokens[0].kind == "eof"
+
+    def test_identifiers_and_keywords(self):
+        tokens = tokenize("class Foo int x while whileFoo _bar $x")
+        assert [t.kind for t in tokens[:-1]] == [
+            "keyword", "ident", "keyword", "ident", "keyword", "ident",
+            "ident", "ident"]
+
+    def test_line_comment(self):
+        assert kinds("a // comment to eol\n b") == ["ident", "ident"]
+
+    def test_block_comment(self):
+        assert kinds("a /* x\n y */ b") == ["ident", "ident"]
+
+    def test_unterminated_block_comment(self):
+        with pytest.raises(CompileError):
+            tokenize("/* never closed")
+
+    def test_positions_track_lines(self):
+        tokens = tokenize("a\n  b")
+        assert tokens[0].pos.line == 1
+        assert tokens[1].pos.line == 2
+        assert tokens[1].pos.column == 3
+
+
+class TestNumbers:
+    def test_int_literal(self):
+        assert values("42") == [42]
+
+    def test_hex_literal(self):
+        assert values("0x1F") == [31]
+
+    def test_hex_high_bit_is_negative(self):
+        assert values("0xFFFFFFFF") == [-1]
+        assert values("0xCAFEBABE")[0] < 0
+
+    def test_long_literal(self):
+        tokens = tokenize("42L 0x10L")
+        assert tokens[0].kind == "long" and tokens[0].value == 42
+        assert tokens[1].kind == "long" and tokens[1].value == 16
+
+    def test_double_literal_forms(self):
+        tokens = tokenize("1.5 2e3 1.25e-2 7d")
+        assert all(t.kind == "double" for t in tokens[:-1])
+        assert tokens[1].value == 2000.0
+        assert tokens[2].value == 0.0125
+
+    def test_float_literal(self):
+        tokens = tokenize("1.5f 2F")
+        assert all(t.kind == "float" for t in tokens[:-1])
+
+    def test_int_too_large_rejected(self):
+        with pytest.raises(CompileError):
+            tokenize("99999999999")
+
+    def test_max_negative_boundary_allowed(self):
+        # 2147483648 is only legal under unary minus; lexing it is fine
+        assert values("2147483648") == [2**31]
+
+    def test_member_access_not_float(self):
+        assert kinds("a.b") == ["ident", "op", "ident"]
+
+
+class TestCharsAndStrings:
+    def test_char_literal(self):
+        assert values("'a'") == [97]
+
+    def test_char_escapes(self):
+        assert values(r"'\n' '\t' '\\' '\''") == [10, 9, 92, 39]
+
+    def test_unicode_escape(self):
+        assert values(r"'A'") == [65]
+
+    def test_string_literal(self):
+        assert values('"hello"') == ["hello"]
+
+    def test_string_escapes(self):
+        assert values(r'"a\"b\n"') == ['a"b\n']
+
+    def test_unterminated_string(self):
+        with pytest.raises(CompileError):
+            tokenize('"abc')
+
+    def test_string_may_not_span_lines(self):
+        with pytest.raises(CompileError):
+            tokenize('"ab\ncd"')
+
+    def test_unknown_escape_rejected(self):
+        with pytest.raises(CompileError):
+            tokenize(r'"\q"')
+
+
+class TestOperators:
+    def test_maximal_munch(self):
+        text = [t.text for t in tokenize("a >>> b >> c > d >= e")][:-1]
+        assert text == ["a", ">>>", "b", ">>", "c", ">", "d", ">=", "e"]
+
+    def test_compound_assignment_operators(self):
+        text = [t.text for t in tokenize("x <<= 1; y >>>= 2; z %= 3")][:-1]
+        assert "<<=" in text and ">>>=" in text and "%=" in text
+
+    def test_increment_vs_plus(self):
+        text = [t.text for t in tokenize("a++ + ++b")][:-1]
+        assert text == ["a", "++", "+", "++", "b"]
+
+    def test_unexpected_character(self):
+        with pytest.raises(CompileError):
+            tokenize("a ` b")

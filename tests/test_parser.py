@@ -1,0 +1,205 @@
+"""Unit tests for the recursive-descent parser."""
+
+import pytest
+
+from repro.frontend import ast
+from repro.frontend.errors import CompileError
+from repro.frontend.parser import parse_compilation_unit
+
+
+def parse_expr(text: str) -> ast.Expr:
+    unit = parse_compilation_unit(
+        f"class T {{ static void f() {{ int z; z = {text}; }} }}")
+    stmt = unit.classes[0].members[0].body.stmts[1]
+    return stmt.expr.value
+
+
+def parse_stmts(body: str):
+    unit = parse_compilation_unit(f"class T {{ static void f() {{ {body} }} }}")
+    return unit.classes[0].members[0].body.stmts
+
+
+class TestExpressions:
+    def test_precedence_mul_over_add(self):
+        expr = parse_expr("1 + 2 * 3")
+        assert isinstance(expr, ast.Binary) and expr.op == "+"
+        assert isinstance(expr.right, ast.Binary) and expr.right.op == "*"
+
+    def test_left_associativity(self):
+        expr = parse_expr("10 - 4 - 3")
+        assert expr.op == "-" and isinstance(expr.left, ast.Binary)
+        assert expr.left.op == "-"
+
+    def test_shift_binds_looser_than_add(self):
+        expr = parse_expr("1 << 2 + 3")
+        assert expr.op == "<<"
+        assert isinstance(expr.right, ast.Binary) and expr.right.op == "+"
+
+    def test_bitand_vs_equality(self):
+        expr = parse_expr("a == b & c == d")
+        assert expr.op == "&"
+
+    def test_logical_or_lowest(self):
+        expr = parse_expr("a && b || c && d")
+        assert expr.op == "||"
+
+    def test_ternary_right_associates(self):
+        expr = parse_expr("a ? b : c ? d : e")
+        assert isinstance(expr, ast.Ternary)
+        assert isinstance(expr.else_expr, ast.Ternary)
+
+    def test_assignment_right_associates(self):
+        stmts = parse_stmts("int a; int b; a = b = 1;")
+        inner = stmts[2].expr
+        assert isinstance(inner, ast.Assign)
+        assert isinstance(inner.value, ast.Assign)
+
+    def test_unary_minus_folds_int_min(self):
+        expr = parse_expr("-2147483648")
+        assert isinstance(expr, ast.Literal) and expr.value == -(2**31)
+
+    def test_instanceof_in_comparison_position(self):
+        expr = parse_expr("x instanceof String == true")
+        assert isinstance(expr, ast.Binary) and expr.op == "=="
+        assert isinstance(expr.left, ast.InstanceOf)
+
+    def test_postfix_chain(self):
+        expr = parse_expr("a.b.c[1].d(2)")
+        assert isinstance(expr, ast.Call) and expr.name == "d"
+        target = expr.target
+        assert isinstance(target, ast.ArrayAccess)
+
+
+class TestCastDisambiguation:
+    def test_primitive_cast(self):
+        expr = parse_expr("(int) x")
+        assert isinstance(expr, ast.Cast)
+
+    def test_reference_cast_before_ident(self):
+        expr = parse_expr("(Foo) x")
+        assert isinstance(expr, ast.Cast)
+
+    def test_parenthesised_expression_plus(self):
+        expr = parse_expr("(a) + b")
+        assert isinstance(expr, ast.Binary) and expr.op == "+"
+
+    def test_array_cast_always_cast(self):
+        expr = parse_expr("(int[]) x")
+        assert isinstance(expr, ast.Cast)
+        assert isinstance(expr.type_ref, ast.ArrayTypeRef)
+
+    def test_cast_of_parenthesised_cast(self):
+        expr = parse_expr("((Foo) x).y")
+        assert isinstance(expr, ast.FieldAccess)
+        assert isinstance(expr.target, ast.Cast)
+
+    def test_cast_before_call(self):
+        expr = parse_expr("(Foo) f()")
+        assert isinstance(expr, ast.Cast)
+        assert isinstance(expr.operand, ast.Call)
+
+
+class TestStatements:
+    def test_local_declaration_multiple(self):
+        stmts = parse_stmts("int a = 1, b, c = 3;")
+        assert isinstance(stmts[0], ast.LocalVarDecl)
+        assert len(stmts[0].declarators) == 3
+
+    def test_if_else_binds_to_nearest(self):
+        stmts = parse_stmts("if (a) if (b) x(); else y();")
+        outer = stmts[0]
+        assert outer.else_stmt is None
+        assert outer.then_stmt.else_stmt is not None
+
+    def test_for_with_decl_init(self):
+        stmts = parse_stmts("for (int i = 0; i < 3; i++) ;")
+        loop = stmts[0]
+        assert isinstance(loop, ast.ForStmt)
+        assert isinstance(loop.init[0], ast.LocalVarDecl)
+        assert len(loop.update) == 1
+
+    def test_for_all_parts_empty(self):
+        loop = parse_stmts("for (;;) break;")[0]
+        assert loop.init == [] and loop.cond is None and loop.update == []
+
+    def test_labeled_loop(self):
+        stmt = parse_stmts("outer: while (true) break outer;")[0]
+        assert isinstance(stmt, ast.LabeledStmt) and stmt.label == "outer"
+        inner = stmt.stmt.body
+        assert isinstance(inner, ast.BreakStmt) and inner.label == "outer"
+
+    def test_try_catch_finally(self):
+        stmt = parse_stmts(
+            "try { x(); } catch (E1 a) { } catch (E2 b) { } finally { }")[0]
+        assert isinstance(stmt, ast.TryStmt)
+        assert len(stmt.catches) == 2
+        assert stmt.finally_block is not None
+
+    def test_try_alone_rejected(self):
+        with pytest.raises(CompileError):
+            parse_stmts("try { }")
+
+    def test_switch_cases(self):
+        stmt = parse_stmts(
+            "switch (x) { case 1: case 2: f(); break; default: g(); }")[0]
+        assert isinstance(stmt, ast.SwitchStmt)
+        assert len(stmt.cases) == 2
+        assert len(stmt.cases[0].labels) == 2
+        assert stmt.cases[1].is_default
+
+    def test_throw(self):
+        stmt = parse_stmts("throw new E();")[0]
+        assert isinstance(stmt, ast.ThrowStmt)
+
+    def test_do_while(self):
+        stmt = parse_stmts("do { f(); } while (x < 3);")[0]
+        assert isinstance(stmt, ast.DoWhileStmt)
+
+
+class TestDeclarations:
+    def test_class_with_extends(self):
+        unit = parse_compilation_unit("class A extends B { }")
+        assert unit.classes[0].super_name == "B"
+
+    def test_constructor_detected(self):
+        unit = parse_compilation_unit("class A { A(int x) { } }")
+        ctor = unit.classes[0].members[0]
+        assert ctor.is_constructor and ctor.name == "<init>"
+
+    def test_method_with_throws(self):
+        unit = parse_compilation_unit(
+            "class A { void f() throws E1, E2 { } }")
+        assert unit.classes[0].members[0].throws == ["E1", "E2"]
+
+    def test_field_with_initializer(self):
+        unit = parse_compilation_unit("class A { static int x = 5; }")
+        field = unit.classes[0].members[0]
+        assert isinstance(field, ast.FieldDecl) and field.is_static
+
+    def test_array_return_type(self):
+        unit = parse_compilation_unit("class A { int[][] f() { } }")
+        ref = unit.classes[0].members[0].return_ref
+        assert isinstance(ref, ast.ArrayTypeRef)
+        assert isinstance(ref.element, ast.ArrayTypeRef)
+
+    def test_package_and_imports_accepted(self):
+        unit = parse_compilation_unit(
+            "package com.example; import java.util.*; class A { }")
+        assert unit.package == "com.example"
+
+    def test_missing_brace_rejected(self):
+        with pytest.raises(CompileError):
+            parse_compilation_unit("class A { void f() { ")
+
+    def test_new_array_with_dims(self):
+        expr = parse_expr("new int[3][4]")
+        assert isinstance(expr, ast.NewArray)
+        assert len(expr.dims) == 2 and expr.extra_dims == 0
+
+    def test_new_array_extra_dims(self):
+        expr = parse_expr("new int[3][]")
+        assert len(expr.dims) == 1 and expr.extra_dims == 1
+
+    def test_sized_dim_after_empty_rejected(self):
+        with pytest.raises(CompileError):
+            parse_expr("new int[3][][4]")

@@ -1,0 +1,237 @@
+"""Property-based tests (hypothesis) over the core invariants.
+
+The headline property: for *arbitrary generated programs*, the SafeTSA
+pipeline (construct, optimise, encode, decode, execute) agrees with the
+independent bytecode pipeline, and every artifact verifies.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro import jmath
+from repro.encode.bitio import BitReader, BitWriter
+from repro.encode.deserializer import DecodeError, decode_module
+from repro.encode.serializer import encode_module
+from repro.frontend.parser import parse_compilation_unit
+from repro.frontend.semantics import analyze
+from repro.interp.interpreter import Interpreter
+from repro.jvm.codegen import compile_unit
+from repro.jvm.interp import BytecodeInterpreter
+from repro.pipeline import compile_to_module
+from repro.tsa.verifier import verify_module
+from repro.uast.builder import UastBuilder
+
+
+# ======================================================================
+# bit-level codes
+
+@given(st.lists(st.tuples(st.integers(min_value=1, max_value=300),
+                          st.integers(min_value=0))))
+def test_bounded_code_round_trip(pairs):
+    normalized = [(alphabet, value % alphabet) for alphabet, value in pairs]
+    writer = BitWriter()
+    for alphabet, value in normalized:
+        writer.write_bounded(value, alphabet)
+    reader = BitReader(writer.getvalue())
+    for alphabet, value in normalized:
+        assert reader.read_bounded(alphabet) == value
+
+
+@given(st.lists(st.integers(min_value=0, max_value=2**40)))
+def test_gamma_round_trip(values):
+    writer = BitWriter()
+    for value in values:
+        writer.write_gamma(value)
+    reader = BitReader(writer.getvalue())
+    for value in values:
+        assert reader.read_gamma() == value
+
+
+@given(st.lists(st.integers(min_value=-(2**63), max_value=2**63 - 1)))
+def test_signed_gamma_round_trip(values):
+    writer = BitWriter()
+    for value in values:
+        writer.write_signed_gamma(value)
+    reader = BitReader(writer.getvalue())
+    for value in values:
+        assert reader.read_signed_gamma() == value
+
+
+@given(st.integers(min_value=1, max_value=1000))
+def test_phase_in_code_is_near_optimal(alphabet):
+    """No symbol costs more than ceil(log2 n) bits."""
+    import math
+    ceiling = math.ceil(math.log2(alphabet)) if alphabet > 1 else 0
+    for value in range(0, alphabet, max(alphabet // 17, 1)):
+        writer = BitWriter()
+        writer.write_bounded(value, alphabet)
+        assert writer.bit_length() <= ceiling
+
+
+# ======================================================================
+# Java arithmetic
+
+@given(st.integers(), st.integers())
+def test_i32_is_32_bit_ring_homomorphism(a, b):
+    assert jmath.i32(a + b) == jmath.i32(jmath.i32(a) + jmath.i32(b))
+    assert jmath.i32(a * b) == jmath.i32(jmath.i32(a) * jmath.i32(b))
+    assert jmath.INT_MIN <= jmath.i32(a) <= jmath.INT_MAX
+
+
+@given(st.integers(min_value=jmath.INT_MIN, max_value=jmath.INT_MAX),
+       st.integers(min_value=jmath.INT_MIN, max_value=jmath.INT_MAX))
+def test_div_rem_reconstruct(a, b):
+    if b == 0:
+        return
+    assert jmath.idiv(a, b) * b + jmath.irem(a, b) == a
+    assert abs(jmath.irem(a, b)) < abs(b)
+
+
+@given(st.integers(min_value=jmath.INT_MIN, max_value=jmath.INT_MAX),
+       st.integers())
+def test_shifts_match_mask_semantics(a, s):
+    assert jmath.ishl(a, s, 32) == jmath.ishl(a, s & 31, 32)
+    assert jmath.iushr(a, s, 32) == jmath.iushr(a, s & 31, 32)
+
+
+# ======================================================================
+# random-program differential testing
+
+_INT_BIN_OPS = ["+", "-", "*", "&", "|", "^"]
+_CMP_OPS = ["<", "<=", ">", ">=", "==", "!="]
+_VARS = ["a", "b", "c"]
+
+
+@st.composite
+def int_expr(draw, depth=0):
+    if depth >= 3 or draw(st.booleans()):
+        choice = draw(st.integers(min_value=0, max_value=2))
+        if choice == 0:
+            return str(draw(st.integers(min_value=-100, max_value=100)))
+        return draw(st.sampled_from(_VARS))
+    left = draw(int_expr(depth + 1))
+    right = draw(int_expr(depth + 1))
+    op = draw(st.sampled_from(_INT_BIN_OPS))
+    return f"({left} {op} {right})"
+
+
+@st.composite
+def bool_expr(draw):
+    left = draw(int_expr(2))
+    right = draw(int_expr(2))
+    return f"({left} {draw(st.sampled_from(_CMP_OPS))} {right})"
+
+
+@st.composite
+def statement(draw, depth=0):
+    kind = draw(st.integers(min_value=0, max_value=7 if depth < 2 else 2))
+    var = draw(st.sampled_from(_VARS))
+    if kind in (0, 1, 2):
+        return f"{var} = {draw(int_expr())};"
+    if kind == 3:
+        then_body = draw(statement(depth + 1))
+        else_body = draw(statement(depth + 1))
+        return (f"if {draw(bool_expr())} {{ {then_body} }} "
+                f"else {{ {else_body} }}")
+    if kind == 4:
+        body = draw(statement(depth + 1))
+        return (f"for (int i{depth} = 0; i{depth} < "
+                f"{draw(st.integers(min_value=1, max_value=5))}; "
+                f"i{depth}++) {{ {body} }}")
+    if kind == 5:
+        body = draw(statement(depth + 1))
+        divisor = draw(st.sampled_from(_VARS))
+        return (f"try {{ {var} = {var} / {divisor}; {body} }} "
+                f"catch (ArithmeticException x{depth}) "
+                f"{{ {var} = -9; }}")
+    if kind == 6:
+        body = draw(statement(depth + 1))
+        return (f"switch ({var} & 3) {{ case 0: {var} = 1; "
+                f"case 1: {var} = 2; break; case 2: {body} break; "
+                f"default: {var} = 5; }}")
+    # while loops use a dedicated counter the body cannot reassign, so
+    # generated programs always terminate quickly
+    body = draw(statement(depth + 1))
+    bound = draw(st.integers(min_value=1, max_value=4))
+    return (f"{{ int w{depth} = {bound}; "
+            f"while (w{depth} > 0) {{ w{depth} = w{depth} - 1; "
+            f"{body} }} }}")
+
+
+@st.composite
+def program(draw):
+    statements = draw(st.lists(statement(), min_size=1, max_size=6))
+    body = "\n".join(statements)
+    return ("class P { static void main() {\n"
+            "int a = 3; int b = -7; int c = 100;\n"
+            f"{body}\n"
+            'System.out.println(a + " " + b + " " + c);\n'
+            "} }")
+
+
+@given(program())
+@settings(max_examples=40, deadline=None)
+def test_generated_programs_agree_across_pipelines(source):
+    # SafeTSA plain
+    module = compile_to_module(source)
+    verify_module(module)
+    plain = Interpreter(module, max_steps=2_000_000).run_main()
+    # SafeTSA optimized
+    optimized_module = compile_to_module(source, optimize=True)
+    verify_module(optimized_module)
+    optimized = Interpreter(optimized_module,
+                            max_steps=2_000_000).run_main()
+    assert optimized.stdout == plain.stdout
+    # encode -> decode
+    decoded = decode_module(encode_module(optimized_module))
+    verify_module(decoded)
+    roundtrip = Interpreter(decoded, max_steps=2_000_000).run_main()
+    assert roundtrip.stdout == plain.stdout
+    # bytecode baseline
+    unit = parse_compilation_unit(source)
+    world = analyze(unit)
+    builder = UastBuilder(world)
+    classes = compile_unit(world, {decl.info: builder.build_class(decl)
+                                   for decl in unit.classes})
+    bytecode = BytecodeInterpreter(classes, world,
+                                   max_steps=2_000_000).run_main()
+    assert bytecode.stdout == plain.stdout
+    # consumer-side code generation
+    from repro.interp.jit import JitCompiler
+    jitted = JitCompiler(decoded).run_main()
+    assert jitted.stdout == plain.stdout
+
+
+@given(program())
+@settings(max_examples=15, deadline=None)
+def test_generated_programs_reencode_identically(source):
+    module = compile_to_module(source)
+    wire = encode_module(module)
+    assert encode_module(decode_module(wire)) == wire
+
+
+# ======================================================================
+# wire-format mutation safety
+
+@given(st.binary(min_size=0, max_size=300))
+@settings(max_examples=60, deadline=None)
+def test_arbitrary_bytes_never_yield_invalid_module(data):
+    try:
+        module = decode_module(data)
+    except DecodeError:
+        return
+    verify_module(module)  # whatever decodes must verify
+
+
+@given(st.integers(min_value=0), st.integers(min_value=1, max_value=255))
+@settings(max_examples=80, deadline=None)
+def test_single_byte_mutations_safe(position, xor):
+    source = ("class T { static int f(int[] a, int i) "
+              "{ return a[i] + a[i]; } }")
+    module = compile_to_module(source, optimize=True)
+    wire = bytearray(encode_module(module))
+    wire[position % len(wire)] ^= xor
+    try:
+        mutated = decode_module(bytes(wire))
+    except DecodeError:
+        return
+    verify_module(mutated)

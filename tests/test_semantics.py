@@ -1,0 +1,249 @@
+"""Unit tests for semantic analysis: typing, resolution, flow checks."""
+
+import pytest
+
+from repro.frontend.errors import CompileError
+from repro.frontend.parser import parse_compilation_unit
+from repro.frontend.semantics import analyze
+
+
+def check(source: str):
+    return analyze(parse_compilation_unit(source))
+
+
+def check_body(body: str, extra: str = ""):
+    return check(f"class T {{ {extra}\n static void f() {{ {body} }} }}")
+
+
+def rejects(body: str, fragment: str = "", extra: str = ""):
+    with pytest.raises(CompileError) as excinfo:
+        check_body(body, extra)
+    if fragment:
+        assert fragment in str(excinfo.value), str(excinfo.value)
+
+
+class TestTyping:
+    def test_assign_incompatible_rejected(self):
+        rejects("int x = true;", "convert")
+
+    def test_narrowing_requires_cast(self):
+        rejects("long l = 1; int x = l;")
+        check_body("long l = 1; int x = (int) l;")
+
+    def test_boolean_cast_rejected(self):
+        rejects("boolean b = true; int x = (int) b;", "cannot cast")
+
+    def test_condition_must_be_boolean(self):
+        rejects("if (1) { }", "boolean")
+        rejects("while (2) { }", "boolean")
+
+    def test_arithmetic_on_boolean_rejected(self):
+        rejects("boolean b = true; int x = b + 1;")
+
+    def test_string_concat_with_anything(self):
+        check_body('String s = "a" + 1 + 2.0 + true + \'c\' + null;')
+
+    def test_modulo_on_double_allowed(self):
+        check_body("double d = 5.5 % 2.0;")
+
+    def test_shift_on_double_rejected(self):
+        rejects("double d = 1.0 << 2;", "integral")
+
+    def test_bitwise_on_booleans_allowed(self):
+        check_body("boolean b = true & false | true ^ false;")
+
+    def test_array_index_must_be_int(self):
+        rejects("int[] a = new int[3]; long l = 0; int x = a[l];")
+
+    def test_array_length_readable(self):
+        check_body("int[] a = new int[3]; int n = a.length;")
+
+    def test_arrays_have_no_other_members(self):
+        rejects("int[] a = new int[3]; int n = a.size;", "length")
+
+    def test_void_method_result_unusable(self):
+        rejects("int x = g();", extra="static void g() { }")
+
+    def test_impossible_reference_cast_rejected(self):
+        rejects("String s = \"x\"; Integer i = (Integer) s;",
+                "impossible")
+
+    def test_incomparable_references_rejected(self):
+        rejects('boolean b = "x" == new int[1];')
+
+    def test_ref_equality_with_null_ok(self):
+        check_body('String s = "x"; boolean b = s == null;')
+
+    def test_ternary_merges_numeric_types(self):
+        check_body("double d = true ? 1 : 2.0;")
+
+    def test_ternary_merges_reference_types(self):
+        check(
+            "class A { } class B extends A { } class C extends A { }"
+            "class T { static void f(boolean c) {"
+            "  A a = c ? new B() : new C(); } }")
+
+
+class TestResolution:
+    def test_undefined_name(self):
+        rejects("int x = nope;", "undefined name")
+
+    def test_undefined_method(self):
+        rejects("nothing();", "no method")
+
+    def test_duplicate_local_rejected(self):
+        rejects("int x = 1; int x = 2;", "already defined")
+
+    def test_nested_shadowing_rejected(self):
+        rejects("int x = 1; { int x = 2; }", "already defined")
+
+    def test_scopes_end_at_block(self):
+        check_body("{ int x = 1; } { int x = 2; }")
+
+    def test_this_in_static_rejected(self):
+        rejects("Object o = this;", "static")
+
+    def test_instance_field_in_static_rejected(self):
+        rejects("int y = v;", "static", extra="int v;")
+
+    def test_static_field_via_class_name(self):
+        check_body("int x = Integer.MAX_VALUE;")
+
+    def test_instance_method_through_object(self):
+        check_body('String s = "abc".substring(1);')
+
+    def test_unknown_class_rejected(self):
+        rejects("Frob f = null;", "unknown type")
+
+    def test_field_on_primitive_rejected(self):
+        rejects("int x = 4; int y = x.value;")
+
+
+class TestOverloads:
+    EXTRA = ("static String g(Object o) { return \"obj\"; }"
+             "static String g(String s) { return \"str\"; }"
+             "static String h(int a, long b) { return \"il\"; }"
+             "static String h(long a, int b) { return \"li\"; }")
+
+    def test_most_specific_chosen(self):
+        check_body('String r = g("x");', extra=self.EXTRA)
+
+    def test_ambiguous_rejected(self):
+        rejects("String r = h(1, 2);", "ambiguous", extra=self.EXTRA)
+
+    def test_resolvable_with_exact_types(self):
+        check_body("String r = h(1, 2L);", extra=self.EXTRA)
+
+    def test_no_applicable_overload(self):
+        rejects("String r = g(1.5);", "no applicable", extra=self.EXTRA)
+
+    def test_duplicate_signature_rejected(self):
+        with pytest.raises(CompileError):
+            check("class T { void f(int x) { } void f(int y) { } }")
+
+    def test_overload_differs_by_arity(self):
+        check("class T { static int f() { return 0; }"
+              "static int f(int x) { return x; }"
+              "static void g() { int a = f() + f(3); } }")
+
+
+class TestFlowAnalysis:
+    def test_read_before_assignment_rejected(self):
+        rejects("int x; int y = x;", "initialized")
+
+    def test_assignment_in_one_branch_insufficient(self):
+        rejects("int x; if (1 < 2) x = 1; int y = x;", "initialized")
+
+    def test_assignment_in_both_branches_ok(self):
+        check_body("int x; if (1 < 2) x = 1; else x = 2; int y = x;")
+
+    def test_while_body_does_not_count(self):
+        rejects("int x; boolean c = 1 < 2; while (c) x = 1; int y = x;",
+                "initialized")
+
+    def test_constant_true_loop_makes_tail_unreachable(self):
+        # javac agrees: 1 < 2 is a constant expression
+        rejects("int x; while (1 < 2) x = 1; int y = x;", "unreachable")
+
+    def test_do_while_body_counts(self):
+        check_body("int x; do { x = 1; } while (false); int y = x;")
+
+    def test_missing_return_rejected(self):
+        with pytest.raises(CompileError):
+            check("class T { static int f(boolean b) { if (b) return 1; } }")
+
+    def test_return_in_both_branches_ok(self):
+        check("class T { static int f(boolean b) "
+              "{ if (b) return 1; else return 2; } }")
+
+    def test_infinite_loop_counts_as_return(self):
+        check("class T { static int f() { while (true) { } } }")
+
+    def test_infinite_loop_with_break_rejected(self):
+        with pytest.raises(CompileError):
+            check("class T { static int f(boolean b) "
+                  "{ while (true) { if (b) break; } } }")
+
+    def test_unreachable_statement_rejected(self):
+        rejects("return; int x = 1;", "unreachable")
+
+    def test_throw_terminates_flow(self):
+        check("class T { static int f() "
+              "{ throw new RuntimeException(\"x\"); } }")
+
+    def test_switch_with_all_paths_returning(self):
+        check("class T { static int f(int x) { switch (x) {"
+              "case 1: return 1; default: return 0; } } }")
+
+    def test_break_outside_loop_rejected(self):
+        rejects("break;", "outside")
+
+    def test_continue_in_switch_rejected(self):
+        rejects("switch (1) { default: continue; }", "outside")
+
+    def test_undefined_label_rejected(self):
+        rejects("while (true) break nope;", "undefined label")
+
+    def test_continue_to_non_loop_label_rejected(self):
+        rejects("lab: { continue lab; }", "not a loop")
+
+
+class TestClassChecks:
+    def test_case_labels_must_be_constant(self):
+        rejects("int v = 1; switch (v) { case v: break; }", "constant")
+
+    def test_duplicate_case_labels_rejected(self):
+        rejects("switch (1) { case 2: break; case 2: break; }",
+                "duplicate")
+
+    def test_case_label_constant_folding(self):
+        check_body("switch (1) { case 1 + 2: break; case 'a': break; }")
+
+    def test_throw_non_throwable_rejected(self):
+        rejects('throw new Object();', "Throwable")
+        # strings are not throwable either
+        rejects('String s = "x"; throw s;', "Throwable")
+
+    def test_catch_non_throwable_rejected(self):
+        rejects("try { f(); } catch (String s) { }", "Throwable")
+
+    def test_instantiate_abstract_rejected(self):
+        with pytest.raises(CompileError):
+            check("abstract class A { } "
+                  "class T { static void f() { A a = new A(); } }")
+
+    def test_switch_selector_type(self):
+        rejects("switch (1.5) { default: break; }", "selector")
+        check_body("switch ('x') { default: break; }")
+
+    def test_user_exception_hierarchy(self):
+        check("class MyError extends RuntimeException { }"
+              "class T { static void f() {"
+              "  try { throw new MyError(); }"
+              "  catch (MyError e) { } } }")
+
+    def test_compound_assign_to_string_field_concat(self):
+        check("class T { String s = \"\"; void f() { s += 1; } }")
+
+    def test_assign_to_final_library_field_rejected(self):
+        rejects("System.out = null;", "final")

@@ -1,0 +1,237 @@
+"""Unit tests for the type system, the world, and the type table."""
+
+import pytest
+
+from repro.typesys.ops import OPS_BY_TYPE, lookup_op, op_by_index
+from repro.typesys.table import TypeTable
+from repro.typesys.types import (
+    ArrayType,
+    BOOLEAN,
+    CHAR,
+    ClassType,
+    DOUBLE,
+    INT,
+    LONG,
+    NULL,
+    PrimitiveType,
+    VOID,
+    binary_numeric_promotion,
+    widens_to,
+)
+from repro.typesys.world import ClassInfo, FieldInfo, MethodInfo, World
+
+
+class TestTypes:
+    def test_primitives_are_interned(self):
+        assert PrimitiveType("int") is INT
+        assert PrimitiveType("double") is DOUBLE
+
+    def test_unknown_primitive_rejected(self):
+        with pytest.raises(ValueError):
+            PrimitiveType("byte")
+
+    def test_array_equality_is_structural(self):
+        assert ArrayType(INT) == ArrayType(INT)
+        assert ArrayType(INT) != ArrayType(LONG)
+        assert hash(ArrayType(INT)) == hash(ArrayType(INT))
+
+    def test_nested_array_descriptor(self):
+        assert ArrayType(ArrayType(INT)).descriptor() == "[[I"
+
+    def test_class_descriptor(self):
+        assert ClassType("java.lang.String").descriptor() \
+            == "Ljava/lang/String;"
+
+    def test_array_of_void_rejected(self):
+        with pytest.raises(ValueError):
+            ArrayType(VOID)
+
+    def test_widening_chain(self):
+        assert widens_to(CHAR, INT)
+        assert widens_to(INT, DOUBLE)
+        assert widens_to(LONG, DOUBLE)
+        assert not widens_to(INT, CHAR)
+        assert not widens_to(DOUBLE, LONG)
+        assert not widens_to(BOOLEAN, INT)
+
+    def test_binary_promotion(self):
+        assert binary_numeric_promotion(INT, LONG) is LONG
+        assert binary_numeric_promotion(CHAR, CHAR) is INT
+        assert binary_numeric_promotion(LONG, DOUBLE) is DOUBLE
+        assert binary_numeric_promotion(BOOLEAN, INT) is None
+
+
+class TestOperations:
+    def test_trapping_classification(self):
+        assert lookup_op(INT, "div").traps
+        assert lookup_op(INT, "rem").traps
+        assert not lookup_op(INT, "add").traps
+        # IEEE division never traps (paper Section 5 allows per-language
+        # choices; Java floats are lenient)
+        assert not lookup_op(DOUBLE, "div").traps
+
+    def test_operation_indices_are_stable_and_dense(self):
+        for base, ops in OPS_BY_TYPE.items():
+            for index, op in enumerate(ops):
+                assert op.index == index
+                assert op_by_index(base, index) is op
+
+    def test_op_by_index_out_of_range(self):
+        assert op_by_index(INT, 9999) is None
+
+    def test_fold_matches_java(self):
+        assert lookup_op(INT, "add").fold(2**31 - 1, 1) == -(2**31)
+        assert lookup_op(LONG, "mul").fold(2**62, 4) == 0
+        assert lookup_op(INT, "to_char").fold(-1) == 0xFFFF
+        assert lookup_op(BOOLEAN, "xor").fold(True, True) is False
+
+    def test_comparison_results_are_boolean(self):
+        assert lookup_op(INT, "lt").result is BOOLEAN
+        assert lookup_op(DOUBLE, "ge").result is BOOLEAN
+
+    def test_unknown_op_raises(self):
+        with pytest.raises(KeyError):
+            lookup_op(INT, "frobnicate")
+
+
+class TestWorld:
+    def test_builtins_present(self):
+        world = World()
+        for name in ("java.lang.Object", "java.lang.String",
+                     "java.lang.Throwable",
+                     "java.lang.NullPointerException"):
+            assert world.lookup(name) is not None
+
+    def test_short_name_resolution(self):
+        world = World()
+        assert world.lookup("String").name == "java.lang.String"
+
+    def test_define_and_subtype(self):
+        world = World()
+        animal = world.define_class(ClassInfo("Animal", "java.lang.Object"))
+        cat = world.define_class(ClassInfo("Cat", "Animal"))
+        world.link()
+        assert world.is_subtype(cat.type, animal.type)
+        assert not world.is_subtype(animal.type, cat.type)
+        assert world.is_subtype(cat.type, ClassType("java.lang.Object"))
+
+    def test_null_is_subtype_of_references_only(self):
+        world = World()
+        assert world.is_subtype(NULL, ClassType("java.lang.String"))
+        assert world.is_subtype(NULL, ArrayType(INT))
+        assert not world.is_subtype(NULL, INT)
+
+    def test_arrays_subtype_object_and_covariance(self):
+        world = World()
+        assert world.is_subtype(ArrayType(INT),
+                                ClassType("java.lang.Object"))
+        string_array = ArrayType(ClassType("java.lang.String"))
+        object_array = ArrayType(ClassType("java.lang.Object"))
+        assert world.is_subtype(string_array, object_array)
+        assert not world.is_subtype(ArrayType(INT), ArrayType(LONG))
+
+    def test_vtable_override_shares_slot(self):
+        world = World()
+        base = ClassInfo("Base", "java.lang.Object")
+        base_m = base.add_method(MethodInfo("f", [], INT))
+        world.define_class(base)
+        derived = ClassInfo("Derived", "Base")
+        derived_m = derived.add_method(MethodInfo("f", [], INT))
+        world.define_class(derived)
+        world.link()
+        assert base_m.vtable_slot == derived_m.vtable_slot
+        assert derived.vtable[derived_m.vtable_slot] is derived_m
+
+    def test_field_slots_include_inherited(self):
+        world = World()
+        base = ClassInfo("B1", "java.lang.Object")
+        base.add_field(FieldInfo("x", INT))
+        world.define_class(base)
+        derived = ClassInfo("D1", "B1")
+        derived.add_field(FieldInfo("y", INT))
+        world.define_class(derived)
+        world.link()
+        assert [f.name for f in derived.all_instance_fields] == ["x", "y"]
+        assert derived.find_field("x").slot == 0
+        assert derived.find_field("y").slot == 1
+
+    def test_common_supertype(self):
+        world = World()
+        a = world.define_class(ClassInfo("A2", "java.lang.Object"))
+        b = world.define_class(ClassInfo("B2", "A2"))
+        c = world.define_class(ClassInfo("C2", "A2"))
+        world.link()
+        assert world.common_supertype(b.type, c.type) == a.type
+        assert world.common_supertype(NULL, b.type) == b.type
+
+    def test_duplicate_class_rejected(self):
+        world = World()
+        world.define_class(ClassInfo("Dup", "java.lang.Object"))
+        from repro.typesys.world import WorldError
+        with pytest.raises(WorldError):
+            world.define_class(ClassInfo("Dup", "java.lang.Object"))
+
+
+class TestTypeTable:
+    def test_primitives_first(self):
+        table = TypeTable(World())
+        assert table.type_at(0) is INT
+        assert table.type_at(6) is VOID
+
+    def test_builtins_are_implicit(self):
+        table = TypeTable(World())
+        index = table.index_of(ClassType("java.lang.String"))
+        assert table.entries[index].implicit
+
+    def test_declared_classes_are_not_implicit(self):
+        world = World()
+        info = world.define_class(ClassInfo("Mine", "java.lang.Object"))
+        world.link()
+        table = TypeTable(world)
+        index = table.declare_class(info)
+        assert not table.entries[index].implicit
+        assert table.declared_entries()[0].type == info.type
+
+    def test_intern_array_recursively(self):
+        world = World()
+        table = TypeTable(world)
+        nested = ArrayType(ArrayType(INT))
+        index = table.intern(nested)
+        assert table.type_at(index) == nested
+        assert ArrayType(INT) in table
+
+    def test_field_table_is_deterministic(self):
+        world = World()
+        base = ClassInfo("FB", "java.lang.Object")
+        base.add_field(FieldInfo("a", INT))
+        base.add_field(FieldInfo("s", INT, is_static=True))
+        world.define_class(base)
+        derived = ClassInfo("FD", "FB")
+        derived.add_field(FieldInfo("b", INT))
+        world.define_class(derived)
+        world.link()
+        table = TypeTable(world)
+        names = [f.name for f in table.field_table(derived)]
+        assert names == ["a", "b", "s"]
+
+    def test_method_table_excludes_super_constructors(self):
+        world = World()
+        base = ClassInfo("MB", "java.lang.Object")
+        base.add_method(MethodInfo("<init>", [], VOID))
+        world.define_class(base)
+        derived = ClassInfo("MD", "MB")
+        derived.add_method(MethodInfo("<init>", [INT], VOID))
+        world.define_class(derived)
+        world.link()
+        table = TypeTable(world)
+        ctors = [m for m in table.method_table(derived)
+                 if m.is_constructor]
+        assert all(m.declaring is derived for m in ctors)
+
+    def test_unknown_type_raises(self):
+        from repro.typesys.table import TypeTableError
+        table = TypeTable(World())
+        with pytest.raises(TypeTableError):
+            table.index_of(ClassType("NoSuch"))
+        with pytest.raises(TypeTableError):
+            table.type_at(10_000)

@@ -1,0 +1,155 @@
+"""UAST lowering tests: the normalisations of Section 7."""
+
+import pytest
+
+from repro.frontend.parser import parse_compilation_unit
+from repro.frontend.semantics import analyze
+from repro.uast import nodes as u
+from repro.uast.builder import build_uast
+
+
+def lower(source: str):
+    unit = parse_compilation_unit(source)
+    world = analyze(unit)
+    methods = {}
+    for decl in unit.classes:
+        for umethod in build_uast(decl, world):
+            methods[umethod.method.name] = umethod
+    return methods
+
+
+def lower_body(body: str, extra: str = ""):
+    methods = lower(f"class T {{ {extra}\n static void f() {{ {body} }} }}")
+    return methods["f"]
+
+
+def walk_stmts(stmt):
+    yield stmt
+    if isinstance(stmt, u.SBlock):
+        for inner in stmt.stmts:
+            yield from walk_stmts(inner)
+    elif isinstance(stmt, u.SIf):
+        yield from walk_stmts(stmt.then_body)
+        if stmt.else_body is not None:
+            yield from walk_stmts(stmt.else_body)
+    elif isinstance(stmt, (u.SWhile, u.SDoWhile, u.SLabeled)):
+        yield from walk_stmts(stmt.body)
+    elif isinstance(stmt, u.STry):
+        yield from walk_stmts(stmt.body)
+        for catch in stmt.catches:
+            yield from walk_stmts(catch.body)
+
+
+def stmts_of(umethod, kind):
+    return [s for s in walk_stmts(umethod.body) if isinstance(s, kind)]
+
+
+class TestExpressionLowering:
+    def test_short_circuit_becomes_if(self):
+        method = lower_body(
+            "boolean x = 1 < 2 && 3 < 4; if (x) { }")
+        ifs = stmts_of(method, u.SIf)
+        assert len(ifs) >= 2  # the && plus the source if
+
+    def test_ternary_becomes_if(self):
+        method = lower_body("int x = 1 < 2 ? 3 : 4;")
+        assert stmts_of(method, u.SIf)
+
+    def test_string_concat_becomes_calls(self):
+        method = lower_body('String s = "a" + 1;')
+        writes = stmts_of(method, u.SLocalWrite)
+        call = writes[-1].value
+        assert isinstance(call, u.ECall)
+        assert call.method.name == "concat"
+        assert call.args[0].method.name == "valueOf"
+
+    def test_compound_assignment_single_location_eval(self):
+        method = lower_body("int[] a = new int[3]; a[1] += 5;")
+        gets = [s for s in walk_stmts(method.body)
+                if isinstance(s, u.SLocalWrite)
+                and isinstance(s.value, u.EArrayGet)]
+        assert len(gets) == 1  # location read exactly once
+
+    def test_postfix_increment_produces_old_value(self):
+        method = lower_body("int i = 5; int j = i++;")
+        writes = stmts_of(method, u.SLocalWrite)
+        assert writes[-1].local.name == "j"
+        assert isinstance(writes[-1].value, u.ELocal)
+        assert writes[-1].value.local.name.startswith("$t")
+
+    def test_multidim_new_is_symbolic(self):
+        method = lower_body("int[][] g = new int[2][3];")
+        writes = stmts_of(method, u.SLocalWrite)
+        assert isinstance(writes[0].value, u.ENewMultiArray)
+        assert len(writes[0].value.dims) == 2
+
+
+class TestControlLowering:
+    def test_for_becomes_while(self):
+        method = lower_body("for (int i = 0; i < 3; i++) { }")
+        assert stmts_of(method, u.SWhile)
+
+    def test_for_continue_targets_update(self):
+        method = lower_body(
+            "int s = 0;"
+            "for (int i = 0; i < 3; i++) { if (i == 1) continue; s += i; }")
+        labeled = stmts_of(method, u.SLabeled)
+        assert labeled, "continue-in-for should produce a labeled region"
+        breaks = stmts_of(method, u.SBreak)
+        assert any(b.target_id == labeled[0].target_id for b in breaks)
+
+    def test_switch_becomes_nested_labels(self):
+        method = lower_body(
+            "int r = 0; switch (r) { case 0: r = 1; case 1: r = 2; break;"
+            "default: r = 3; }")
+        labeled = stmts_of(method, u.SLabeled)
+        assert len(labeled) >= 3  # exit + one per case position
+
+    def test_try_finally_becomes_mode_dispatch(self):
+        methods = lower(
+            "class T { static int f() {"
+            "try { return 1; } finally { System.out.println(\"x\"); } } }")
+        method = methods["f"]
+        tries = stmts_of(method, u.STry)
+        assert len(tries) == 1
+        catch = tries[0].catches[-1]
+        assert catch.catch_class.name == "java.lang.Throwable"
+        # dispatch comparisons on the mode variable exist
+        assert stmts_of(method, u.SIf)
+
+    def test_constructor_gets_implicit_super_and_field_inits(self):
+        methods = lower("class T { int v = 41; }")
+        ctor = methods["<init>"]
+        evals = stmts_of(ctor, u.SEval)
+        assert evals and evals[0].expr.method.is_constructor
+        field_writes = stmts_of(ctor, u.SFieldWrite)
+        assert field_writes and field_writes[0].field.name == "v"
+
+    def test_static_inits_become_clinit(self):
+        methods = lower("class T { static int v = 7; }")
+        clinit = methods["<clinit>"]
+        writes = stmts_of(clinit, u.SStaticWrite)
+        assert writes and writes[0].field.name == "v"
+
+    def test_this_delegation_skips_field_inits(self):
+        methods = lower(
+            "class T { int v = 5; T() { this(1); } T(int x) { } }")
+        # two constructors: the delegating one must not write v
+        unit = parse_compilation_unit(
+            "class T { int v = 5; T() { this(1); } T(int x) { } }")
+        world = analyze(unit)
+        ctors = [m for m in build_uast(unit.classes[0], world)
+                 if m.method.is_constructor]
+        delegating = next(c for c in ctors
+                          if not c.method.param_types)
+        target = next(c for c in ctors if c.method.param_types)
+        assert not stmts_of(delegating, u.SFieldWrite)
+        assert stmts_of(target, u.SFieldWrite)
+
+    def test_while_with_effectful_condition(self):
+        method = lower_body(
+            "int i = 0; while (i++ < 3) { }", extra="")
+        loops = stmts_of(method, u.SWhile)
+        assert loops
+        cond = loops[0].cond
+        assert isinstance(cond, u.EConst) and cond.value is True

@@ -1,0 +1,351 @@
+"""Verifier rule tests: each well-formedness property, violated in
+isolation, must be rejected (and the honest variant accepted)."""
+
+import pytest
+
+from repro.ssa.cst import RBasic, RIf, RSeq, derive_cfg
+from repro.ssa.ir import (
+    ArrayLen,
+    Const,
+    Downcast,
+    Function,
+    GetField,
+    GetStatic,
+    IdxCheck,
+    Module,
+    New,
+    NewArray,
+    NullCheck,
+    Param,
+    Phi,
+    Plane,
+    Prim,
+    SetField,
+    SetStatic,
+    Term,
+    Upcast,
+)
+from repro.tsa.verifier import VerifyError, verify_function
+from repro.typesys.ops import lookup_op
+from repro.typesys.table import TypeTable
+from repro.typesys.types import (
+    ArrayType,
+    BOOLEAN,
+    ClassType,
+    DOUBLE,
+    INT,
+)
+from repro.typesys.world import ClassInfo, FieldInfo, MethodInfo, World
+
+
+@pytest.fixture
+def env():
+    world = World()
+    point = ClassInfo("Point", "java.lang.Object")
+    point.add_field(FieldInfo("x", INT))
+    point.add_field(FieldInfo("count", INT, is_static=True))
+    world.define_class(point)
+    world.link()
+    table = TypeTable(world)
+    table.declare_class(point)
+    table.intern(ArrayType(INT))
+    module = Module(world, table)
+    module.classes.append(point)
+    return world, table, module, point
+
+
+def single_block_function(point, name="f", return_type=INT,
+                          params=None, static=True):
+    method = MethodInfo(name, params or [], return_type, is_static=static)
+    point.add_method(method)
+    function = Function(method, point)
+    entry = function.new_block()
+    function.entry = entry
+    return function, entry
+
+
+def finish(function, entry, term):
+    entry.term = term
+    function.cst = RSeq([RBasic(entry)])
+    derive_cfg(function)
+    return function
+
+
+class TestReferentialIntegrity:
+    def test_use_before_definition_in_block(self, env):
+        world, table, module, point = env
+        function, entry = single_block_function(point)
+        late = Const(INT, 5)
+        neg = Prim(lookup_op(INT, "neg"), [late])
+        entry.append(neg)
+        entry.append(late)  # defined after its use
+        finish(function, entry, Term("return", neg))
+        with pytest.raises(VerifyError, match="before its definition"):
+            verify_function(module, function)
+
+    def test_reference_across_branch_arms(self, env):
+        world, table, module, point = env
+        function, entry = single_block_function(point, return_type=INT)
+        cond = Const(BOOLEAN, True)
+        entry.append(cond)
+        entry.term = Term("branch", cond)
+        then_block = function.new_block()
+        secret = Const(INT, 1)
+        then_block.append(secret)
+        then_block.term = Term("fall")
+        else_block = function.new_block()
+        # the attack: use the then-value in the else arm
+        leak = Prim(lookup_op(INT, "neg"), [secret])
+        else_block.append(leak)
+        else_block.term = Term("fall")
+        join = function.new_block()
+        join.term = Term("return", leak)
+        function.cst = RSeq([
+            RIf(entry, RBasic(then_block), RBasic(else_block)),
+            RBasic(join)])
+        derive_cfg(function)
+        with pytest.raises(VerifyError):
+            verify_function(module, function)
+
+    def test_phi_operand_count_must_match_preds(self, env):
+        world, table, module, point = env
+        function, entry = single_block_function(point)
+        cond = Const(BOOLEAN, True)
+        entry.append(cond)
+        seed = Const(INT, 1)
+        entry.append(seed)
+        entry.term = Term("branch", cond)
+        a = function.new_block()
+        va = Prim(lookup_op(INT, "neg"), [seed])
+        a.append(va)
+        a.term = Term("fall")
+        b = function.new_block()
+        vb = Prim(lookup_op(INT, "add"), [seed, seed])
+        b.append(vb)
+        b.term = Term("fall")
+        join = function.new_block()
+        phi = Phi(Plane.of_type(INT))
+        phi.add_operand(va)  # only one operand for two preds
+        join.append(phi)
+        join.term = Term("return", phi)
+        function.cst = RSeq([RIf(entry, RBasic(a), RBasic(b)),
+                             RBasic(join)])
+        derive_cfg(function)
+        with pytest.raises(VerifyError, match="operands for"):
+            verify_function(module, function)
+
+
+class TestTypeSeparation:
+    def test_wrong_primitive_plane(self, env):
+        world, table, module, point = env
+        function, entry = single_block_function(point, return_type=INT)
+        d = Const(DOUBLE, 1.5)
+        entry.append(d)
+        bad = Prim(lookup_op(INT, "neg"), [d])
+        entry.append(bad)
+        finish(function, entry, Term("return", bad))
+        with pytest.raises(VerifyError, match="plane"):
+            verify_function(module, function)
+
+    def test_xprimitive_arity(self, env):
+        world, table, module, point = env
+        function, entry = single_block_function(point)
+        one = Const(INT, 1)
+        entry.append(one)
+        bad = Prim.__new__(Prim)
+        from repro.ssa.ir import Instr
+        Instr.__init__(bad, Plane.of_type(INT), [one])
+        bad.operation = lookup_op(INT, "div")
+        entry.append(bad)
+        finish(function, entry, Term("return", bad))
+        with pytest.raises(VerifyError, match="arity"):
+            verify_function(module, function)
+
+    def test_branch_on_non_boolean(self, env):
+        world, table, module, point = env
+        function, entry = single_block_function(point)
+        one = Const(INT, 1)
+        entry.append(one)
+        entry.term = Term("branch", one)
+        a = function.new_block()
+        ra = Const(INT, 0)
+        a.append(ra)
+        a.term = Term("return", ra)
+        b = function.new_block()
+        rb = Const(INT, 1)
+        b.append(rb)
+        rb2 = Prim(lookup_op(INT, "neg"), [rb])
+        b.append(rb2)
+        b.term = Term("return", rb2)
+        function.cst = RSeq([RIf(entry, RBasic(a), RBasic(b))])
+        derive_cfg(function)
+        with pytest.raises(VerifyError, match="boolean"):
+            verify_function(module, function)
+
+    def test_return_plane_must_match_signature(self, env):
+        world, table, module, point = env
+        function, entry = single_block_function(point, return_type=INT)
+        d = Const(DOUBLE, 2.0)
+        entry.append(d)
+        finish(function, entry, Term("return", d))
+        with pytest.raises(VerifyError, match="return value"):
+            verify_function(module, function)
+
+
+class TestMemorySafety:
+    def test_getfield_requires_safe_plane(self, env):
+        world, table, module, point = env
+        function, entry = single_block_function(
+            point, params=[point.type], static=True)
+        ref = Param(0, point.type)
+        entry.append(ref)
+        function.params.append(ref)
+        bad = GetField(point, ref, point.fields[0])
+        entry.append(bad)
+        finish(function, entry, Term("return", bad))
+        with pytest.raises(VerifyError, match="safe"):
+            verify_function(module, function)
+
+    def test_getfield_of_static_field_rejected(self, env):
+        world, table, module, point = env
+        function, entry = single_block_function(point)
+        obj = New(point)
+        entry.append(obj)
+        bad = GetField(point, obj, point.fields[1])  # static field
+        entry.append(bad)
+        finish(function, entry, Term("return", bad))
+        with pytest.raises(VerifyError, match="static"):
+            verify_function(module, function)
+
+    def test_setstatic_of_instance_field_rejected(self, env):
+        world, table, module, point = env
+        function, entry = single_block_function(point, return_type=INT)
+        one = Const(INT, 1)
+        entry.append(one)
+        bad = SetStatic(point.fields[0], one)  # instance field
+        entry.append(bad)
+        finish(function, entry, Term("return", one))
+        with pytest.raises(VerifyError, match="instance field"):
+            verify_function(module, function)
+
+    def test_getelt_requires_matching_safe_index(self, env):
+        world, table, module, point = env
+        arr_type = ArrayType(INT)
+        function, entry = single_block_function(point, return_type=INT)
+        length = Const(INT, 4)
+        entry.append(length)
+        arr1 = NewArray(arr_type, length)
+        entry.append(arr1)
+        arr2 = NewArray(arr_type, length)
+        entry.append(arr2)
+        index = Const(INT, 0)
+        entry.append(index)
+        checked = IdxCheck(arr1, index)
+        entry.append(checked)
+        from repro.ssa.ir import GetElt
+        # the attack: index checked against arr1, used with arr2
+        bad = GetElt(arr_type, arr2, checked)
+        entry.append(bad)
+        finish(function, entry, Term("return", bad))
+        with pytest.raises(VerifyError, match="same array value"):
+            verify_function(module, function)
+
+    def test_illegal_downcast_rejected(self, env):
+        world, table, module, point = env
+        obj_type = ClassType("java.lang.Object")
+        function, entry = single_block_function(
+            point, return_type=INT, params=[obj_type])
+        ref = Param(0, obj_type)
+        entry.append(ref)
+        function.params.append(ref)
+        # Object -> Point is a narrowing: needs an upcast, not a downcast
+        bad = Downcast(Plane.of_type(point.type), ref)
+        entry.append(bad)
+        check = NullCheck(point.type, bad)
+        entry.append(check)
+        field = GetField(point, check, point.fields[0])
+        entry.append(field)
+        finish(function, entry, Term("return", field))
+        with pytest.raises(VerifyError, match="downcast"):
+            verify_function(module, function)
+
+    def test_downcast_cannot_fabricate_safety(self, env):
+        world, table, module, point = env
+        function, entry = single_block_function(
+            point, return_type=INT, params=[point.type])
+        ref = Param(0, point.type)
+        entry.append(ref)
+        function.params.append(ref)
+        bad = Downcast(Plane.safe(point.type), ref)  # ref -> safe is forged
+        entry.append(bad)
+        field = GetField(point, bad, point.fields[0])
+        entry.append(field)
+        finish(function, entry, Term("return", field))
+        with pytest.raises(VerifyError, match="downcast"):
+            verify_function(module, function)
+
+    def test_honest_checked_access_passes(self, env):
+        world, table, module, point = env
+        function, entry = single_block_function(
+            point, return_type=INT, params=[point.type])
+        ref = Param(0, point.type)
+        entry.append(ref)
+        function.params.append(ref)
+        checked = NullCheck(point.type, ref)
+        entry.append(checked)
+        field = GetField(point, checked, point.fields[0])
+        entry.append(field)
+        finish(function, entry, Term("return", field))
+        verify_function(module, function)
+
+    def test_arraylen_requires_safe_array(self, env):
+        world, table, module, point = env
+        arr_type = ArrayType(INT)
+        function, entry = single_block_function(
+            point, return_type=INT, params=[arr_type])
+        ref = Param(0, arr_type)
+        entry.append(ref)
+        function.params.append(ref)
+        bad = ArrayLen(arr_type, ref)
+        entry.append(bad)
+        finish(function, entry, Term("return", bad))
+        with pytest.raises(VerifyError, match="plane"):
+            verify_function(module, function)
+
+
+class TestStructure:
+    def test_const_outside_entry_rejected(self, env):
+        world, table, module, point = env
+        function, entry = single_block_function(point)
+        cond = Const(BOOLEAN, True)
+        entry.append(cond)
+        entry.term = Term("branch", cond)
+        a = function.new_block()
+        va = Const(INT, 1)  # const outside the entry block
+        a.append(va)
+        a.term = Term("return", va)
+        b = function.new_block()
+        vb = Prim(lookup_op(INT, "neg"),
+                  [cond])  # also bogus, but we want the const error
+        b.term = Term("return", None)
+        function.cst = RSeq([RIf(entry, RBasic(a), RBasic(b))])
+        derive_cfg(function)
+        with pytest.raises(VerifyError):
+            verify_function(module, function)
+
+    def test_void_method_returning_value_rejected(self, env):
+        from repro.typesys.types import VOID
+        world, table, module, point = env
+        function, entry = single_block_function(point, return_type=VOID)
+        one = Const(INT, 1)
+        entry.append(one)
+        finish(function, entry, Term("return", one))
+        with pytest.raises(VerifyError, match="void"):
+            verify_function(module, function)
+
+    def test_missing_terminator_rejected(self, env):
+        world, table, module, point = env
+        function, entry = single_block_function(point)
+        function.cst = RSeq([RBasic(entry)])
+        with pytest.raises(VerifyError):
+            verify_function(module, function)
