@@ -2,13 +2,21 @@
 
 PYTHON ?= python3
 
-.PHONY: test bench tables examples all clean
+# Targets work from a bare checkout too (no editable install needed).
+export PYTHONPATH := src:$(PYTHONPATH)
+
+.PHONY: test bench bench-smoke tables examples all clean
 
 test:
 	$(PYTHON) -m pytest tests/ -q
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only -q
+
+# Small codec + cache throughput run; writes BENCH_codec.json (CI runs
+# this after the test suite).
+bench-smoke:
+	$(PYTHON) -m repro.bench.runner codec --smoke
 
 tables:
 	$(PYTHON) -m repro.bench.runner all

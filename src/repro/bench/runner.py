@@ -7,34 +7,75 @@ Usage::
     python -m repro.bench.runner pruning      # E3: dead-phi pruning
     python -m repro.bench.runner ablation     # E4: per-pass contribution
     python -m repro.bench.runner verifycost   # E5: verification cost
-    python -m repro.bench.runner jitspeed     # E9: consumer codegen speed
+    python -m repro.bench.runner jitspeed    # E9: consumer codegen speed
+    python -m repro.bench.runner codec [--smoke] [--output PATH]
     python -m repro.bench.runner all
+
+``codec`` times the wire codec and the compilation cache and writes the
+numbers to ``BENCH_codec.json``; ``--smoke`` runs a three-program subset
+with fewer repeats (the CI configuration).
+
+Timed sections run best-of-N with a warmup pass (``REPRO_BENCH_REPEATS``
+overrides N, default 3): the minimum over repeats is the standard
+estimator for "time the code would take undisturbed", where a single
+sample is at the mercy of whatever else the machine was doing.
 """
 
 from __future__ import annotations
 
+import json
+import os
 import sys
 import time
 
 from repro.bench.corpus import CORPUS_PROGRAMS, corpus_source
-from repro.bench.metrics import measure_corpus
+from repro.bench.metrics import (
+    corpus_compile_jobs,
+    measure_corpus,
+    warm_cache,
+)
 from repro.bench.tables import (
     ablation_table,
     figure5_table,
     figure6_table,
     phi_pruning_table,
 )
+from repro.cache import CompilationCache, default_cache
 from repro.pipeline import compile_to_module
+
+#: Shared across the commands of one runner invocation, so ``all`` does
+#: not recompile the corpus for every table that needs it.  When the
+#: process-wide cache is enabled (``REPRO_CACHE_DIR``), use it, so
+#: table regeneration persists compiles across invocations too.
+_RUN_CACHE = default_cache() or CompilationCache()
+
+
+def best_of(fn, repeats=None, warmup: int = 1) -> float:
+    """Minimum wall-clock seconds of ``fn()`` over ``repeats`` runs,
+    after ``warmup`` untimed runs.  ``fn``'s return value is discarded;
+    capture side effects via a closure if the result is needed too."""
+    if repeats is None:
+        repeats = int(os.environ.get("REPRO_BENCH_REPEATS", "3"))
+    for _ in range(warmup):
+        fn()
+    best = float("inf")
+    for _ in range(max(repeats, 1)):
+        start = time.perf_counter()
+        fn()
+        elapsed = time.perf_counter() - start
+        if elapsed < best:
+            best = elapsed
+    return best
 
 
 def run_figure5() -> str:
-    rows = measure_corpus()
+    rows = measure_corpus(cache=_RUN_CACHE)
     return "Figure 5: SafeTSA class files compared to Java class files\n\n" \
         + figure5_table(rows)
 
 
 def run_figure6() -> str:
-    rows = measure_corpus()
+    rows = measure_corpus(cache=_RUN_CACHE)
     return ("Figure 6: Phi-, Null-Check and Array-Check instructions "
             "before and after optimisation\n\n" + figure6_table(rows))
 
@@ -43,8 +84,10 @@ def run_pruning() -> str:
     results = []
     for name in CORPUS_PROGRAMS:
         source = corpus_source(name)
-        unpruned = compile_to_module(source, prune_phis=False)
-        pruned = compile_to_module(source, prune_phis=True)
+        unpruned = compile_to_module(source, prune_phis=False,
+                                     cache=_RUN_CACHE)
+        pruned = compile_to_module(source, prune_phis=True,
+                                   cache=_RUN_CACHE)
         results.append((name,
                         unpruned.count_opcodes("phi"),
                         pruned.count_opcodes("phi")))
@@ -65,7 +108,9 @@ def run_ablation() -> str:
         source = corpus_source(name)
         counts = {}
         for label, passes in configs.items():
-            module = compile_to_module(source)
+            # each configuration mutates its module, so every one needs
+            # a fresh decode -- which is exactly what a cache hit is
+            module = compile_to_module(source, cache=_RUN_CACHE)
             if passes:
                 from repro.opt.pipeline import optimize_module
                 optimize_module(module, passes)
@@ -95,18 +140,17 @@ def run_verifycost() -> str:
     total_jvm = 0.0
     for name in CORPUS_PROGRAMS:
         source = corpus_source(name)
-        module = compile_to_module(source)
+        module = compile_to_module(source, cache=_RUN_CACHE)
         unit = parse_compilation_unit(source)
         world = analyze(unit)
         builder = UastBuilder(world)
         classes = compile_unit(world, {decl.info: builder.build_class(decl)
                                        for decl in unit.classes})
-        start = time.perf_counter()
-        verify_module(module)
-        tsa_ms = (time.perf_counter() - start) * 1000
-        start = time.perf_counter()
-        steps = sum(verify_class(world, cls) for cls in classes)
-        jvm_ms = (time.perf_counter() - start) * 1000
+        tsa_ms = best_of(lambda: verify_module(module)) * 1000
+        steps_holder = []
+        jvm_ms = best_of(lambda: steps_holder.append(
+            sum(verify_class(world, cls) for cls in classes))) * 1000
+        steps = steps_holder[-1]
         total_tsa += tsa_ms
         total_jvm += jvm_ms
         ratio = jvm_ms / tsa_ms if tsa_ms else float("inf")
@@ -130,13 +174,11 @@ def run_jitspeed() -> str:
     ]
     total_interp = total_jit = 0.0
     for name in ("BitSieve", "Linpack", "BigInt", "MiniVM"):
-        module = compile_to_module(corpus_source(name), optimize=True)
-        start = time.perf_counter()
-        Interpreter(module, max_steps=200_000_000).run_main(name)
-        interp_s = time.perf_counter() - start
-        start = time.perf_counter()
-        JitCompiler(module).run_main(name)
-        jit_s = time.perf_counter() - start
+        module = compile_to_module(corpus_source(name), optimize=True,
+                                   cache=_RUN_CACHE)
+        interp_s = best_of(lambda: Interpreter(
+            module, max_steps=200_000_000).run_main(name))
+        jit_s = best_of(lambda: JitCompiler(module).run_main(name))
         total_interp += interp_s
         total_jit += jit_s
         lines.append(f"{name:16} {interp_s * 1000:8.1f}ms "
@@ -146,6 +188,119 @@ def run_jitspeed() -> str:
                  f"{total_jit * 1000:8.1f}ms "
                  f"{total_interp / total_jit:7.1f}x")
     return "\n".join(lines)
+
+
+def codec_report(programs=None, repeats=None) -> dict:
+    """All the numbers behind ``BENCH_codec.json``."""
+    from repro.bench.codec import measure_codec_throughput
+    from repro.encode.deserializer import decode_module
+    from repro.encode.serializer import encode_module
+
+    if repeats is None:
+        repeats = int(os.environ.get("REPRO_BENCH_REPEATS", "3"))
+    programs = list(programs or CORPUS_PROGRAMS)
+    report: dict = {"programs": programs, "repeats": repeats}
+
+    # 1. the codec itself: trace replay, new vs reference.  Replaying
+    # the trace is cheap, so take at least five repeats: on a busy
+    # single-CPU machine three minima still carry visible noise.
+    report["codec"] = measure_codec_throughput(programs,
+                                               repeats=max(repeats, 5))
+    report["codec"]["speedup_vs_reference"] = \
+        report["codec"]["combined_speedup"]
+
+    # 2. the module path: full encode/decode plus per-stage compile time
+    stage_seconds: dict = {}
+    modules = []
+    start = time.perf_counter()
+    for name in programs:
+        source = corpus_source(name)
+        modules.append(compile_to_module(
+            source, prune_phis=False, cache=False,
+            stage_seconds=stage_seconds))
+        modules.append(compile_to_module(
+            source, optimize=True, cache=False,
+            stage_seconds=stage_seconds))
+    compile_s = time.perf_counter() - start
+    wires = [encode_module(module) for module in modules]
+    stage_seconds["encode"] = best_of(
+        lambda: [encode_module(module) for module in modules],
+        repeats=repeats)
+    stage_seconds["decode"] = best_of(
+        lambda: [decode_module(wire) for wire in wires], repeats=repeats)
+    from repro.tsa.verifier import verify_module
+    stage_seconds["verify"] = best_of(
+        lambda: [verify_module(module) for module in modules],
+        repeats=repeats)
+    wire_bytes = sum(len(wire) for wire in wires)
+    report["module_path"] = {
+        "modules": len(modules),
+        "wire_bytes": wire_bytes,
+        "encode_mbps": round(
+            wire_bytes / stage_seconds["encode"] / 1e6, 3),
+        "decode_mbps": round(
+            wire_bytes / stage_seconds["decode"] / 1e6, 3),
+        "stage_seconds": {stage: round(seconds, 4)
+                          for stage, seconds in stage_seconds.items()},
+    }
+
+    # 3. the compilation cache: cold concurrent warm vs warm rerun
+    cache = CompilationCache()
+    jobs = corpus_compile_jobs(programs)
+    start = time.perf_counter()
+    compiled = warm_cache(cache, jobs)
+    cold_s = time.perf_counter() - start
+
+    def rerun() -> None:
+        for name in programs:
+            source = corpus_source(name)
+            compile_to_module(source, prune_phis=False, cache=cache)
+            compile_to_module(source, optimize=True, cache=cache)
+
+    warm_s = best_of(rerun, repeats=repeats)
+    report["cache"] = {
+        "corpus_compiles": compiled,
+        "cold_concurrent_seconds": round(cold_s, 4),
+        "cold_serial_seconds": round(compile_s, 4),
+        "warm_seconds": round(warm_s, 4),
+        "warm_speedup": round(compile_s / warm_s, 2) if warm_s else None,
+        "hit_rate": round(cache.hit_rate, 4),
+        **{key: value for key, value in cache.stats().items()
+           if key != "hit_rate"},
+        "workers": os.cpu_count(),
+    }
+    return report
+
+
+def run_codec(argv=()) -> str:
+    smoke = "--smoke" in argv
+    output = "BENCH_codec.json"
+    argv = [arg for arg in argv if arg != "--smoke"]
+    if "--output" in argv:
+        output = argv[argv.index("--output") + 1]
+    programs = ("BitSieve", "BinaryCode", "Scanner") if smoke else None
+    repeats = 2 if smoke else None
+    report = codec_report(programs, repeats=repeats)
+    with open(output, "w") as handle:
+        json.dump(report, handle, indent=2)
+        handle.write("\n")
+    codec = report["codec"]
+    cache = report["cache"]
+    return "\n".join([
+        f"codec benchmark ({'smoke, ' if smoke else ''}"
+        f"{len(report['programs'])} programs) -> {output}",
+        "",
+        f"  trace encode   {codec['encode_mbps']:7.3f} MB/s "
+        f"({codec['encode_speedup']}x vs seed codec)",
+        f"  trace decode   {codec['decode_mbps']:7.3f} MB/s "
+        f"({codec['decode_speedup']}x vs seed codec)",
+        f"  combined speedup vs reference: "
+        f"{codec['speedup_vs_reference']}x",
+        f"  corpus compile {cache['cold_serial_seconds']:.2f}s cold, "
+        f"{cache['cold_concurrent_seconds']:.2f}s concurrent, "
+        f"{cache['warm_seconds']:.2f}s from cache "
+        f"(hit rate {cache['hit_rate']:.0%})",
+    ])
 
 
 COMMANDS = {
@@ -160,13 +315,16 @@ COMMANDS = {
 
 def main(argv=None) -> int:
     argv = argv if argv is not None else sys.argv[1:]
-    if not argv or argv[0] not in list(COMMANDS) + ["all"]:
+    if not argv or argv[0] not in list(COMMANDS) + ["all", "codec"]:
         print(__doc__)
         return 2
-    if argv[0] == "all":
+    if argv[0] == "codec":
+        print(run_codec(argv[1:]))
+    elif argv[0] == "all":
         for name, command in COMMANDS.items():
             print(command())
             print()
+        print(run_codec(argv[1:]))
     else:
         print(COMMANDS[argv[0]]())
     return 0

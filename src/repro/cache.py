@@ -1,0 +1,134 @@
+"""Content-addressed compilation cache: source + flags -> wire bytes.
+
+The producer side of the pipeline (parse, semantic analysis, SSA
+construction, optimisation) is the expensive half; the consumer side
+(decode + verify) is cheap by design -- the paper's asymmetry, and the
+reason mobile-code results are worth caching as *encoded modules* rather
+than in-memory objects.  A hit replays the consumer path only:
+
+    key  = SHA-256 over (format version, pipeline flags, source text)
+    value = the encoded ``.stsa`` bytes for that exact compilation
+
+Because the wire format is self-validating (decoding re-verifies every
+reference), a stale or corrupted cache entry can produce a
+``DecodeError`` but never an unsound module.
+
+The cache is in-memory by default; pass ``cache_dir`` (or set the
+``REPRO_CACHE_DIR`` environment variable) to persist entries on disk,
+one file per key, written atomically.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import tempfile
+from pathlib import Path
+from typing import Optional
+
+#: Bump when the wire format (or anything the key does not capture)
+#: changes meaning; old entries then miss instead of decoding garbage.
+FORMAT_VERSION = "stsa1"
+
+
+class CompilationCache:
+    """Maps compilation keys to encoded module bytes, counting hits."""
+
+    def __init__(self, cache_dir: Optional[str] = None):
+        self._memory: dict[str, bytes] = {}
+        self._dir = Path(cache_dir) if cache_dir else None
+        self.hits = 0
+        self.misses = 0
+
+    @staticmethod
+    def key(source: str, **flags) -> str:
+        """Content address of one compilation (source + pipeline flags)."""
+        hasher = hashlib.sha256()
+        hasher.update(FORMAT_VERSION.encode())
+        for name in sorted(flags):
+            hasher.update(f"\x00{name}={flags[name]!r}".encode())
+        hasher.update(b"\x00\x00")
+        hasher.update(source.encode("utf-8"))
+        return hasher.hexdigest()
+
+    def get(self, key: str) -> Optional[bytes]:
+        wire = self._memory.get(key)
+        if wire is None and self._dir is not None:
+            path = self._dir / f"{key}.stsa"
+            if path.is_file():
+                wire = path.read_bytes()
+                self._memory[key] = wire
+        if wire is None:
+            self.misses += 1
+            return None
+        self.hits += 1
+        return wire
+
+    def put(self, key: str, wire: bytes) -> None:
+        self._memory[key] = wire
+        if self._dir is not None:
+            self._dir.mkdir(parents=True, exist_ok=True)
+            # atomic publish: a concurrent reader sees the old entry,
+            # the new entry, or a miss -- never a partial file
+            fd, temp = tempfile.mkstemp(dir=self._dir, suffix=".tmp")
+            try:
+                with os.fdopen(fd, "wb") as handle:
+                    handle.write(wire)
+                os.replace(temp, self._dir / f"{key}.stsa")
+            except BaseException:
+                try:
+                    os.unlink(temp)
+                except OSError:
+                    pass
+                raise
+
+    def clear(self) -> None:
+        self._memory.clear()
+        self.hits = 0
+        self.misses = 0
+        if self._dir is not None and self._dir.is_dir():
+            for path in self._dir.glob("*.stsa"):
+                path.unlink(missing_ok=True)
+
+    def __len__(self) -> int:
+        return len(self._memory)
+
+    def __bool__(self) -> bool:
+        # an *empty* cache is still an enabled cache: without this,
+        # ``if cache:`` at the call sites would fall through __len__
+        # and silently disable caching until the first entry lands
+        return True
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def stats(self) -> dict:
+        return {"hits": self.hits, "misses": self.misses,
+                "hit_rate": round(self.hit_rate, 4),
+                "entries": len(self._memory)}
+
+
+def default_cache() -> Optional[CompilationCache]:
+    """The process-wide cache, enabled by ``REPRO_CACHE_DIR`` ("" for
+    memory-only) or by :func:`enable_default_cache`."""
+    return _DEFAULT
+
+
+def enable_default_cache(
+        cache_dir: Optional[str] = None) -> CompilationCache:
+    global _DEFAULT
+    if _DEFAULT is None or (cache_dir and _DEFAULT._dir is None):
+        _DEFAULT = CompilationCache(cache_dir or None)
+    return _DEFAULT
+
+
+def _from_environment() -> Optional[CompilationCache]:
+    configured = os.environ.get("REPRO_CACHE_DIR")
+    if configured is None:
+        return None
+    return CompilationCache(configured or None)
+
+
+_DEFAULT: Optional[CompilationCache] = _from_environment()

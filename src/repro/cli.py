@@ -7,7 +7,7 @@ Subcommands::
     repro-cc disasm  FILE.java|FILE.stsa [--optimize]
     repro-cc verify  FILE.stsa
     repro-cc stats   FILE.java
-    repro-cc bench   figure5|figure6|pruning|ablation|verifycost|all
+    repro-cc bench   figure5|figure6|pruning|ablation|verifycost|codec|all
 """
 
 from __future__ import annotations
@@ -131,7 +131,7 @@ def main(argv=None) -> int:
     p = sub.add_parser("bench", help="regenerate a paper table")
     p.add_argument("table", choices=["figure5", "figure6", "pruning",
                                      "ablation", "verifycost",
-                                     "jitspeed", "all"])
+                                     "jitspeed", "codec", "all"])
     p.set_defaults(fn=cmd_bench)
 
     args = parser.parse_args(argv)

@@ -144,10 +144,10 @@ class _ModuleDecoder:
         """The stream must be fully consumed (only zero padding to the
         byte boundary may remain): trailing data cannot ride along."""
         reader = self.reader
-        remaining = len(reader._data) * 8 - reader._pos
+        remaining = reader.bits_remaining()
         if remaining >= 8:
             raise DecodeError(f"{remaining} trailing bits after the module")
-        if remaining and reader.read_bits(remaining) != 0:
+        if not reader.at_end():
             raise DecodeError("nonzero padding bits")
 
     def _check_hierarchy(self, class_infos: list[ClassInfo]) -> None:

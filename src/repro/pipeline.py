@@ -3,6 +3,8 @@ baseline)."""
 
 from __future__ import annotations
 
+from time import perf_counter
+
 from repro.frontend.parser import parse_compilation_unit
 from repro.frontend.semantics import analyze
 from repro.ssa.construction import build_function
@@ -13,11 +15,73 @@ from repro.typesys.world import World
 from repro.uast.builder import UastBuilder
 
 
+#: Producer-pipeline flag defaults; the compilation-cache key covers
+#: exactly these, so cache writers and readers must agree on them.
+PIPELINE_FLAG_DEFAULTS = {
+    "optimize": False, "prune_phis": True, "eager_phis": True}
+
+
+def pipeline_cache_key(cache, source: str, **flags) -> str:
+    """The cache key :func:`compile_to_module` uses for this compile."""
+    merged = dict(PIPELINE_FLAG_DEFAULTS)
+    merged.update(flags)
+    return cache.key(source, **merged)
+
+
 def compile_to_module(source: str, *, optimize: bool = False,
                       prune_phis: bool = True, eager_phis: bool = True,
-                      filename: str = "<source>") -> Module:
-    """Full producer pipeline: parse, check, lower, build SSA, optimise."""
+                      filename: str = "<source>",
+                      cache=None, stage_seconds=None) -> Module:
+    """Full producer pipeline: parse, check, lower, build SSA, optimise.
+
+    ``cache`` is an optional :class:`repro.cache.CompilationCache` (pass
+    ``False`` to force a cold compile even when a process-wide default
+    cache is enabled).  On a hit the producer pipeline is skipped
+    entirely and the cached wire bytes are decoded -- the cheap,
+    self-validating consumer path.
+
+    ``stage_seconds`` is an optional mutable mapping; wall-clock seconds
+    for the ``parse``, ``ssa`` and ``opt`` stages (and ``decode`` on a
+    cache hit) are accumulated into it.
+    """
+    if cache is None:
+        from repro.cache import default_cache
+        cache = default_cache()
+    key = None
+    if cache:
+        key = pipeline_cache_key(cache, source, optimize=optimize,
+                                 prune_phis=prune_phis,
+                                 eager_phis=eager_phis)
+        wire = cache.get(key)
+        if wire is not None:
+            from repro.encode.deserializer import decode_module
+            start = perf_counter()
+            module = decode_module(wire)
+            _credit(stage_seconds, "decode", start)
+            return module
+    module = _compile_uncached(source, optimize=optimize,
+                               prune_phis=prune_phis,
+                               eager_phis=eager_phis, filename=filename,
+                               stage_seconds=stage_seconds)
+    if cache:
+        from repro.encode.serializer import encode_module
+        cache.put(key, encode_module(module))
+    return module
+
+
+def _credit(stage_seconds, stage: str, start: float) -> float:
+    now = perf_counter()
+    if stage_seconds is not None:
+        stage_seconds[stage] = stage_seconds.get(stage, 0.0) + (now - start)
+    return now
+
+
+def _compile_uncached(source: str, *, optimize: bool, prune_phis: bool,
+                      eager_phis: bool, filename: str,
+                      stage_seconds=None) -> Module:
+    start = perf_counter()
     unit = parse_compilation_unit(source, filename)
+    start = _credit(stage_seconds, "parse", start)
     world = analyze(unit)
     table = TypeTable(world)
     module = Module(world, table)
@@ -34,9 +98,11 @@ def compile_to_module(source: str, *, optimize: bool = False,
         from repro.ssa.phi_pruning import prune_dead_phis
         for function in module.functions.values():
             prune_dead_phis(function)
+    start = _credit(stage_seconds, "ssa", start)
     if optimize:
         from repro.opt.pipeline import optimize_module
         optimize_module(module)
+        _credit(stage_seconds, "opt", start)
     return module
 
 

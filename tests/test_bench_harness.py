@@ -1,8 +1,16 @@
 """Tests for the measurement harness itself (tables, metrics, runner)."""
 
+import json
+
 import pytest
 
-from repro.bench.metrics import ClassMetrics, measure_program
+from repro.bench.metrics import (
+    ClassMetrics,
+    corpus_compile_jobs,
+    measure_corpus,
+    measure_program,
+    warm_cache,
+)
 from repro.bench.tables import (
     _fmt_delta,
     ablation_table,
@@ -64,6 +72,21 @@ class TestMeasurement:
         assert "P" in ablation
 
 
+class TestCachedMeasurement:
+    def test_warm_cache_then_measure_matches_cold(self):
+        from repro.cache import CompilationCache
+        cache = CompilationCache()
+        programs = ["BitSieve"]
+        compiled = warm_cache(cache, corpus_compile_jobs(programs))
+        assert compiled == 2  # plain + optimised
+        assert warm_cache(cache, corpus_compile_jobs(programs)) == 0
+        warm = measure_corpus(programs, cache=cache)
+        cold = measure_corpus(programs, cache=False)
+        assert [row.as_dict() for row in warm] \
+            == [row.as_dict() for row in cold]
+        assert cache.hits > 0
+
+
 class TestRunnerCommands:
     def test_command_inventory(self):
         from repro.bench.runner import COMMANDS
@@ -74,3 +97,39 @@ class TestRunnerCommands:
         from repro.bench.runner import main
         assert main(["nope"]) == 2
         assert "figure5" in capsys.readouterr().out
+
+    def test_best_of_takes_minimum_and_warms_up(self, monkeypatch):
+        from repro.bench import runner
+        calls = []
+        ticks = iter(range(100))
+        monkeypatch.setattr(runner.time, "perf_counter",
+                            lambda: next(ticks))
+        seconds = runner.best_of(lambda: calls.append(1), repeats=3,
+                                 warmup=2)
+        assert len(calls) == 5  # 2 warmup + 3 timed
+        assert seconds == 1  # consecutive fake ticks
+        monkeypatch.setenv("REPRO_BENCH_REPEATS", "1")
+        calls.clear()
+        runner.best_of(lambda: calls.append(1))
+        assert len(calls) == 2  # 1 warmup + 1 timed via the env default
+
+    def test_codec_command_writes_report(self, tmp_path, capsys,
+                                         monkeypatch):
+        from repro.bench.runner import main
+        monkeypatch.setenv("REPRO_BENCH_REPEATS", "1")
+        output = tmp_path / "BENCH_codec.json"
+        assert main(["codec", "--smoke", "--output", str(output)]) == 0
+        assert "codec benchmark" in capsys.readouterr().out
+        report = json.loads(output.read_text())
+        codec = report["codec"]
+        assert codec["trace_ops"] > 0
+        assert codec["encode_mbps"] > 0 and codec["decode_mbps"] > 0
+        assert codec["speedup_vs_reference"] == \
+            codec["combined_speedup"]
+        stages = report["module_path"]["stage_seconds"]
+        assert {"parse", "ssa", "opt", "encode", "decode",
+                "verify"} <= set(stages)
+        cache = report["cache"]
+        assert cache["corpus_compiles"] == 6
+        assert 0 < cache["hit_rate"] <= 1
+        assert cache["warm_seconds"] >= 0

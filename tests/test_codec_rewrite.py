@@ -1,0 +1,359 @@
+"""The word-at-a-time codec rewrite: golden fixtures, differential
+tests against the seed codec, the bit-I/O edge-case fixes, and the
+compilation cache."""
+
+import hashlib
+import json
+from pathlib import Path
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.bench.codec import (
+    capture_corpus_trace,
+    check_read_values,
+    replay_read,
+    replay_write,
+)
+from repro.bench.corpus import corpus_source
+from repro.cache import CompilationCache
+from repro.encode._bitio_reference import (
+    ReferenceBitReader,
+    ReferenceBitWriter,
+)
+from repro.encode.bitio import BitIOError, BitReader, BitWriter
+from repro.encode.deserializer import DecodeError, decode_module
+from repro.encode.serializer import encode_module
+from repro.pipeline import compile_to_module, pipeline_cache_key
+
+GOLDEN_DIR = Path(__file__).parent / "golden" / "wire"
+MANIFEST = json.loads((GOLDEN_DIR / "MANIFEST.json").read_text())
+
+
+class TestGoldenFixtures:
+    """The rewrite must reproduce the seed codec's bytes exactly; the
+    fixtures were captured before the rewrite."""
+
+    @pytest.mark.parametrize("fixture", sorted(MANIFEST))
+    def test_fixture_bytes_reproduced(self, fixture):
+        program, form = fixture.rsplit(".", 1)
+        source = corpus_source(program)
+        if form == "plain":
+            module = compile_to_module(source, prune_phis=False,
+                                       cache=False)
+        else:
+            module = compile_to_module(source, optimize=True, cache=False)
+        wire = encode_module(module)
+        expected = MANIFEST[fixture]
+        assert len(wire) == expected["bytes"]
+        assert hashlib.sha256(wire).hexdigest() == expected["sha256"]
+        assert wire == (GOLDEN_DIR / f"{fixture}.stsa").read_bytes()
+
+    @pytest.mark.parametrize("fixture", sorted(MANIFEST))
+    def test_fixture_bytes_decode_and_reencode(self, fixture):
+        wire = (GOLDEN_DIR / f"{fixture}.stsa").read_bytes()
+        module = decode_module(wire)
+        assert encode_module(module) == wire
+
+
+# one op of each primitive code, as (tag, *args) like the bench trace
+_op = st.one_of(
+    st.integers(0, 2**32 - 1).map(
+        lambda v: ("bits", v, max(v.bit_length(), 1))),
+    st.tuples(st.integers(2, 2**20), st.data()).map(
+        lambda pair: ("bounded_draw", pair)),
+    st.integers(0, 2**34).map(lambda v: ("gamma", v)),
+    st.integers(-2**33, 2**33).map(lambda v: ("sgamma", v)),
+    st.booleans().map(lambda b: ("flag", b)),
+    st.binary(max_size=8).map(lambda data: ("bytes", data)),
+)
+
+
+def _resolve_ops(raw_ops):
+    ops = []
+    for op in raw_ops:
+        if op[0] == "bounded_draw":
+            alphabet, data = op[1]
+            value = data.draw(st.integers(0, alphabet - 1))
+            ops.append(("bounded", value, alphabet))
+        else:
+            ops.append(op)
+    return ops
+
+
+class TestDifferential:
+    """Random op sequences through both codecs, byte for byte."""
+
+    @settings(max_examples=200, deadline=None)
+    @given(st.lists(_op, max_size=40))
+    def test_writers_agree(self, raw_ops):
+        ops = _resolve_ops(raw_ops)
+        assert replay_write(BitWriter, ops) \
+            == replay_write(ReferenceBitWriter, ops)
+
+    @settings(max_examples=200, deadline=None)
+    @given(st.lists(_op, max_size=40))
+    def test_readers_consume_identically(self, raw_ops):
+        ops = _resolve_ops(raw_ops)
+        stream = replay_write(BitWriter, ops)
+        check_read_values(ops, stream)  # new reader returns the values
+        replay_read(ReferenceBitReader, ops, stream)  # seed reader too
+
+    def test_corpus_trace_agrees(self):
+        # capture_corpus_trace asserts new == reference internally
+        ops, stream = capture_corpus_trace(["BitSieve", "MiniVM"])
+        check_read_values(ops, stream)
+
+    def test_bit_length_matches_reference(self):
+        for codec in (BitWriter, ReferenceBitWriter):
+            writer = codec()
+            writer.write_gamma(1000)
+            writer.write_bounded(3, 5)
+            assert writer.bit_length() == 22  # 19 gamma + 3 bounded
+
+
+class TestWidthZeroRegression:
+    """Seed bug: ``write_bits(value, width=0)`` dropped a nonzero value
+    silently, so the stream decoded to different data than written."""
+
+    def test_nonzero_value_in_zero_width_rejected(self):
+        writer = BitWriter()
+        with pytest.raises(BitIOError):
+            writer.write_bits(1, 0)
+        with pytest.raises(BitIOError):
+            writer.write_bits(255, 0)
+
+    def test_zero_value_in_zero_width_is_a_no_op(self):
+        writer = BitWriter()
+        writer.write_bits(0, 0)
+        assert writer.bit_length() == 0
+        assert writer.getvalue() == b""
+
+    def test_negative_width_and_value_rejected(self):
+        writer = BitWriter()
+        with pytest.raises(BitIOError):
+            writer.write_bits(0, -1)
+        with pytest.raises(BitIOError):
+            writer.write_bits(-1, 8)
+
+
+class TestAtEnd:
+    """Seed bug: ``at_end()`` compared the bit position to the full
+    buffer length, so it could never be True after a mid-byte stop on a
+    byte-padded stream.  The fixed contract: True iff only zero padding
+    (< 8 bits) remains."""
+
+    def test_true_after_mid_byte_stop_with_zero_padding(self):
+        writer = BitWriter()
+        writer.write_bits(0b101, 3)
+        stream = writer.getvalue()  # one byte: 101 followed by 00000
+        reader = BitReader(stream)
+        assert reader.read_bits(3) == 0b101
+        assert reader.bits_remaining() == 5
+        assert reader.at_end()
+
+    def test_false_while_data_remains(self):
+        writer = BitWriter()
+        writer.write_bits(0b10000001, 8)
+        reader = BitReader(writer.getvalue())
+        assert not reader.at_end()
+        reader.read_bits(4)
+        assert not reader.at_end()  # the final 1 bit is still unread
+
+    def test_false_on_nonzero_padding(self):
+        # a stream whose final partial byte carries a stray 1 bit
+        reader = BitReader(bytes([0b10100100]))
+        reader.read_bits(3)
+        assert not reader.at_end()
+
+    def test_true_at_exact_byte_boundary(self):
+        reader = BitReader(b"\xff")
+        reader.read_bits(8)
+        assert reader.at_end()
+        assert reader.bits_remaining() == 0
+        assert BitReader(b"").at_end()
+
+    def test_reference_reader_agrees(self):
+        for data, consume, expected in [
+                (bytes([0b10100000]), 3, True),
+                (bytes([0b10100100]), 3, False),
+                (b"\xff", 8, True),
+                (b"\xff\x00", 8, False)]:
+            new = BitReader(data)
+            ref = ReferenceBitReader(data)
+            new.read_bits(consume)
+            ref.read_bits(consume)
+            assert new.at_end() is expected
+            assert ref.at_end() is expected
+            assert new.bits_remaining() == ref.bits_remaining()
+
+
+class TestPaddingRejection:
+    """Nonzero padding must be rejected at both layers."""
+
+    def test_deserializer_rejects_flipped_padding_bit(self):
+        source = corpus_source("BitSieve")
+        wire = bytearray(encode_module(
+            compile_to_module(source, cache=False)))
+        # the final byte's least significant bit is padding unless the
+        # stream happens to end byte-aligned; find a fixture where the
+        # flip changes only padding by checking it still decodes the
+        # same prefix
+        wire[-1] |= 0x01
+        try:
+            decode_module(bytes(wire))
+        except DecodeError as err:
+            assert "padding" in str(err) or "trailing" in str(err)
+        else:
+            # the stream ended byte-aligned: flipping the bit corrupted
+            # real data, and that must not decode silently either
+            pytest.fail("corrupted stream decoded without error")
+
+    def test_at_end_distinguishes_padding_from_data(self):
+        writer = BitWriter()
+        writer.write_gamma(6)  # 00111 -> 5 bits, 3 bits zero padding
+        clean = writer.getvalue()
+        dirty = bytes([clean[0] | 0x01])
+        clean_reader = BitReader(clean)
+        dirty_reader = BitReader(dirty)
+        assert clean_reader.read_gamma() == 6
+        assert dirty_reader.read_gamma() == 6
+        assert clean_reader.at_end()
+        assert not dirty_reader.at_end()
+
+
+BOUNDARY_ALPHABETS = sorted({1, 2} | {
+    size for k in (1, 2, 3, 4, 7, 8, 15, 16, 20)
+    for size in ((1 << k) - 1, 1 << k, (1 << k) + 1) if size >= 1})
+
+INT_MIN, INT_MAX = -2**31, 2**31 - 1
+
+
+class TestBoundaryRoundTrips:
+    @pytest.mark.parametrize("alphabet", BOUNDARY_ALPHABETS)
+    @settings(max_examples=30, deadline=None)
+    @given(data=st.data())
+    def test_bounded_round_trip_at_power_of_two_boundaries(
+            self, alphabet, data):
+        values = data.draw(st.lists(
+            st.integers(0, alphabet - 1), max_size=16))
+        writer = BitWriter()
+        for value in values:
+            writer.write_bounded(value, alphabet)
+        reader = BitReader(writer.getvalue())
+        for value in values:
+            assert reader.read_bounded(alphabet) == value
+        assert reader.at_end()
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.lists(st.one_of(
+        st.just(INT_MIN), st.just(INT_MAX),
+        st.just(INT_MIN + 1), st.just(INT_MAX - 1), st.just(0),
+        st.integers(INT_MIN, INT_MAX)), min_size=1, max_size=12))
+    def test_signed_gamma_int_extremes(self, values):
+        writer = BitWriter()
+        for value in values:
+            writer.write_signed_gamma(value)
+        reader = BitReader(writer.getvalue())
+        for value in values:
+            assert reader.read_signed_gamma() == value
+        assert reader.at_end()
+
+    def test_signed_gamma_extremes_match_reference(self):
+        for value in (INT_MIN, INT_MIN + 1, -1, 0, 1, INT_MAX - 1,
+                      INT_MAX):
+            new, ref = BitWriter(), ReferenceBitWriter()
+            new.write_signed_gamma(value)
+            ref.write_signed_gamma(value)
+            assert new.getvalue() == ref.getvalue()
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.integers(0, 2**64 - 2))
+    def test_gamma_full_range(self, value):
+        writer = BitWriter()
+        writer.write_gamma(value)
+        reader = BitReader(writer.getvalue())
+        assert reader.read_gamma() == value
+
+    def test_overlong_gamma_rejected_by_both_readers(self):
+        # 65 zeros then a stop bit: one zero too many
+        stream = (1 << (64 + 65)).to_bytes(17, "big")[1:]
+        for codec in (BitReader, ReferenceBitReader):
+            with pytest.raises(BitIOError):
+                codec(stream).read_gamma()
+
+    def test_64_zero_gamma_still_accepted(self):
+        writer = BitWriter()
+        writer.write_gamma(2**64 - 2)  # exactly 64 leading zeros
+        assert BitReader(writer.getvalue()).read_gamma() == 2**64 - 2
+
+
+class TestCompilationCache:
+    SOURCE = "class C { static int f() { return 41 + 1; } }"
+
+    def test_miss_then_hit(self):
+        cache = CompilationCache()
+        key = pipeline_cache_key(cache, self.SOURCE)
+        assert cache.get(key) is None
+        module = compile_to_module(self.SOURCE, cache=cache)
+        assert cache.get(key) == encode_module(module)
+        assert cache.hits == 1 and cache.misses == 2
+        assert 0 < cache.hit_rate < 1
+
+    def test_hit_returns_equivalent_module(self):
+        cache = CompilationCache()
+        cold = compile_to_module(self.SOURCE, optimize=True, cache=cache)
+        warm = compile_to_module(self.SOURCE, optimize=True, cache=cache)
+        assert cache.hits == 1
+        assert encode_module(warm) == encode_module(cold)
+
+    def test_flags_partition_the_key_space(self):
+        cache = CompilationCache()
+        keys = {
+            pipeline_cache_key(cache, self.SOURCE),
+            pipeline_cache_key(cache, self.SOURCE, optimize=True),
+            pipeline_cache_key(cache, self.SOURCE, prune_phis=False),
+            pipeline_cache_key(cache, self.SOURCE + " "),
+        }
+        assert len(keys) == 4
+        # explicit defaults hash identically to omitted flags
+        assert pipeline_cache_key(cache, self.SOURCE) == \
+            pipeline_cache_key(cache, self.SOURCE, optimize=False)
+
+    def test_disk_persistence(self, tmp_path):
+        first = CompilationCache(str(tmp_path))
+        compile_to_module(self.SOURCE, cache=first)
+        assert list(tmp_path.glob("*.stsa"))
+        second = CompilationCache(str(tmp_path))
+        key = pipeline_cache_key(second, self.SOURCE)
+        assert second.get(key) is not None
+        assert second.hits == 1
+        module = compile_to_module(self.SOURCE, cache=second)
+        assert encode_module(module) == second.get(key)
+
+    def test_clear_empties_memory_and_disk(self, tmp_path):
+        cache = CompilationCache(str(tmp_path))
+        compile_to_module(self.SOURCE, cache=cache)
+        cache.clear()
+        assert len(cache) == 0
+        assert not list(tmp_path.glob("*.stsa"))
+        assert cache.get(pipeline_cache_key(cache, self.SOURCE)) is None
+
+    def test_corrupt_entry_fails_safely(self):
+        cache = CompilationCache()
+        key = pipeline_cache_key(cache, self.SOURCE)
+        cache.put(key, b"\x00garbage")
+        with pytest.raises(DecodeError):
+            compile_to_module(self.SOURCE, cache=cache)
+
+    def test_stage_seconds_recorded(self):
+        cache = CompilationCache()
+        stages: dict = {}
+        compile_to_module(self.SOURCE, optimize=True, cache=cache,
+                          stage_seconds=stages)
+        assert set(stages) == {"parse", "ssa", "opt"}
+        assert all(seconds >= 0 for seconds in stages.values())
+        warm_stages: dict = {}
+        compile_to_module(self.SOURCE, optimize=True, cache=cache,
+                          stage_seconds=warm_stages)
+        assert set(warm_stages) == {"decode"}
