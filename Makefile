@@ -5,7 +5,8 @@ PYTHON ?= python3
 # Targets work from a bare checkout too (no editable install needed).
 export PYTHONPATH := src:$(PYTHONPATH)
 
-.PHONY: test bench bench-smoke tables examples all clean
+.PHONY: test bench bench-smoke bench-analysis lint-corpus tables examples \
+	all clean
 
 test:
 	$(PYTHON) -m pytest tests/ -q
@@ -17,6 +18,17 @@ bench:
 # this after the test suite).
 bench-smoke:
 	$(PYTHON) -m repro.bench.runner codec --smoke
+
+# Verify + lint cost over a corpus subset; writes BENCH_analysis.json.
+bench-analysis:
+	$(PYTHON) -m repro.bench.runner analysis --smoke
+
+# Lint every corpus program with the structured-diagnostics driver;
+# a non-zero exit (any error-severity diagnostic) fails the build.
+lint-corpus:
+	@set -e; for f in src/repro/bench/corpus/*.java; do \
+		echo "== $$f"; $(PYTHON) -m repro.cli lint $$f; \
+	done
 
 tables:
 	$(PYTHON) -m repro.bench.runner all

@@ -1,0 +1,221 @@
+"""Structured diagnostics for the verifier and the lint driver.
+
+Every finding -- a verifier rejection, a suspicious-but-legal construct,
+an optimisation opportunity the analyses can prove -- is reported as a
+:class:`Diagnostic` with a stable machine-readable code, a severity, and
+a (function, block, instruction) location.  The code space is split by
+convention:
+
+* ``STSA-XXX-0nn`` -- well-formedness *errors*: the module violates a
+  SafeTSA property and must be rejected;
+* ``STSA-XXX-1nn`` -- lint findings: warnings (legal but suspicious,
+  e.g. untransmittable unreachable blocks) and informational findings
+  (provably-redundant checks the producer could eliminate).
+
+The full table lives in :data:`DIAGNOSTIC_CODES` and is documented in
+``docs/ANALYSIS.md``; tests assert the two stay in sync.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+
+class Severity:
+    """Diagnostic severities, ordered from most to least severe."""
+
+    ERROR = "error"
+    WARNING = "warning"
+    INFO = "info"
+
+    ORDER = (ERROR, WARNING, INFO)
+
+    @staticmethod
+    def rank(severity: str) -> int:
+        return Severity.ORDER.index(severity)
+
+
+#: code -> (severity, one-line description).  Stable: codes are never
+#: renumbered, only appended.
+DIAGNOSTIC_CODES: dict[str, tuple[str, str]] = {
+    # -- control structure / CFG ---------------------------------------
+    "STSA-CFG-001": (Severity.ERROR,
+                     "the CST does not derive a consistent CFG"),
+    "STSA-CFG-002": (Severity.ERROR, "block has no terminator"),
+    "STSA-CFG-003": (Severity.ERROR,
+                     "block mixes normal and exception predecessors"),
+    # -- referential integrity -----------------------------------------
+    "STSA-REF-001": (Severity.ERROR,
+                     "operand used before its definition in the same "
+                     "block"),
+    "STSA-REF-002": (Severity.ERROR,
+                     "operand defined in a non-dominating block"),
+    "STSA-REF-003": (Severity.ERROR, "reference to an undefined value"),
+    # -- phi discipline -------------------------------------------------
+    "STSA-PHI-001": (Severity.ERROR,
+                     "phi operand count does not match predecessor "
+                     "count"),
+    "STSA-PHI-002": (Severity.ERROR,
+                     "phi operand on a different plane than the phi"),
+    "STSA-PHI-003": (Severity.ERROR,
+                     "phi operand unavailable at the end of its "
+                     "predecessor"),
+    # -- type separation -------------------------------------------------
+    "STSA-TYP-001": (Severity.ERROR, "operand on the wrong register plane"),
+    "STSA-TYP-002": (Severity.ERROR,
+                     "operation unknown to the type's operation table"),
+    "STSA-TYP-003": (Severity.ERROR, "wrong operand arity"),
+    "STSA-TYP-004": (Severity.ERROR,
+                     "result type absent from the type table"),
+    "STSA-TYP-005": (Severity.ERROR, "branch condition is not a boolean"),
+    "STSA-TYP-006": (Severity.ERROR,
+                     "return value does not match the signature"),
+    "STSA-TYP-007": (Severity.ERROR,
+                     "throw operand not on the safe Throwable plane"),
+    "STSA-TYP-008": (Severity.ERROR, "illegal downcast between planes"),
+    "STSA-TYP-009": (Severity.ERROR,
+                     "upcast must move between reference planes"),
+    "STSA-TYP-010": (Severity.ERROR, "nullcheck of a non-reference type"),
+    "STSA-TYP-011": (Severity.ERROR, "instanceof misuse"),
+    # -- exception discipline --------------------------------------------
+    "STSA-EXC-001": (Severity.ERROR,
+                     "trapping instruction is not last in its subblock"),
+    "STSA-EXC-002": (Severity.ERROR,
+                     "missing exception edge to the dispatch block"),
+    "STSA-EXC-003": (Severity.ERROR,
+                     "subblock with a trapping tail must fall through"),
+    "STSA-EXC-004": (Severity.ERROR,
+                     "caughtexc outside a dispatch block"),
+    "STSA-EXC-005": (Severity.ERROR,
+                     "exception edge without an exception point"),
+    "STSA-EXC-006": (Severity.ERROR, "exception edge escapes its try"),
+    # -- structural placement --------------------------------------------
+    "STSA-STR-001": (Severity.ERROR, "const outside the entry block"),
+    "STSA-STR-002": (Severity.ERROR, "param outside the entry block"),
+    "STSA-STR-003": (Severity.ERROR, "param index out of range"),
+    "STSA-STR-004": (Severity.ERROR,
+                     "only 'this' may be pre-loaded on a safe plane"),
+    "STSA-STR-005": (Severity.ERROR,
+                     "reference constant with a non-null value"),
+    # -- memory safety ----------------------------------------------------
+    "STSA-MEM-001": (Severity.ERROR,
+                     "object operand not on the safe reference plane"),
+    "STSA-MEM-002": (Severity.ERROR, "static/instance field misuse"),
+    "STSA-MEM-003": (Severity.ERROR,
+                     "field or method unreachable in the tamper-proof "
+                     "tables"),
+    "STSA-MEM-004": (Severity.ERROR, "setstatic of a final library field"),
+    "STSA-MEM-005": (Severity.ERROR,
+                     "array operand not a safe array reference"),
+    "STSA-MEM-006": (Severity.ERROR,
+                     "index not a safe index of the same array value"),
+    "STSA-MEM-007": (Severity.ERROR, "idxcheck result plane mismatch"),
+    # -- calls -------------------------------------------------------------
+    "STSA-CALL-001": (Severity.ERROR, "xdispatch of a static method"),
+    # -- lint findings -----------------------------------------------------
+    "STSA-CFG-101": (Severity.WARNING,
+                     "unreachable block: never executed and not "
+                     "transmitted"),
+    "STSA-PHI-101": (Severity.WARNING,
+                     "dead phi: no observable use reaches it"),
+    "STSA-NULL-101": (Severity.INFO,
+                      "redundant nullcheck: the operand is provably "
+                      "non-null on every path"),
+    "STSA-IDX-101": (Severity.INFO,
+                     "redundant idxcheck: the index is provably in "
+                     "bounds on every path"),
+    # -- pipeline ----------------------------------------------------------
+    "STSA-PASS-001": (Severity.ERROR,
+                      "optimisation pass left the function ill-formed"),
+    # -- generic fallback --------------------------------------------------
+    "STSA-GEN-001": (Severity.ERROR, "unclassified well-formedness error"),
+}
+
+
+class Diagnostic:
+    """One structured finding.
+
+    ``block`` and ``instr`` are the SafeTSA block id and value id (the
+    ``B<n>`` / ``v<n>`` of the disassembly); either may be ``None`` for
+    function- or block-level findings.
+    """
+
+    __slots__ = ("code", "severity", "message", "function", "block",
+                 "instr")
+
+    def __init__(self, code: str, message: str, *,
+                 function: Optional[str] = None,
+                 block: Optional[int] = None,
+                 instr: Optional[int] = None,
+                 severity: Optional[str] = None):
+        if severity is None:
+            severity = DIAGNOSTIC_CODES.get(
+                code, (Severity.ERROR, ""))[0]
+        self.code = code
+        self.severity = severity
+        self.message = message
+        self.function = function
+        self.block = block
+        self.instr = instr
+
+    # -- presentation ---------------------------------------------------
+
+    def location(self) -> str:
+        parts = []
+        if self.function is not None:
+            parts.append(self.function)
+        if self.block is not None:
+            parts.append(f"B{self.block}")
+        if self.instr is not None:
+            parts.append(f"v{self.instr}")
+        return ":".join(parts) or "<module>"
+
+    def as_dict(self) -> dict:
+        """The stable machine-readable schema (key order is part of the
+        contract; see docs/ANALYSIS.md)."""
+        return {
+            "code": self.code,
+            "severity": self.severity,
+            "function": self.function,
+            "block": self.block,
+            "instr": self.instr,
+            "message": self.message,
+        }
+
+    def __str__(self) -> str:
+        return (f"{self.code} {self.severity} {self.location()}: "
+                f"{self.message}")
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<diagnostic {self}>"
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Diagnostic) \
+            and self.as_dict() == other.as_dict()
+
+    def __hash__(self) -> int:
+        return hash((self.code, self.function, self.block, self.instr,
+                     self.message))
+
+
+def has_errors(diagnostics: Iterable[Diagnostic]) -> bool:
+    return any(d.severity == Severity.ERROR for d in diagnostics)
+
+
+def count_by_severity(diagnostics: Iterable[Diagnostic]) -> dict[str, int]:
+    counts = {severity: 0 for severity in Severity.ORDER}
+    for diagnostic in diagnostics:
+        counts[diagnostic.severity] = counts.get(diagnostic.severity, 0) + 1
+    return counts
+
+
+def sort_diagnostics(diagnostics: Iterable[Diagnostic]) -> list[Diagnostic]:
+    """Deterministic report order: severity, then location, then code."""
+    return sorted(diagnostics, key=lambda d: (
+        Severity.rank(d.severity),
+        d.function or "",
+        d.block if d.block is not None else -1,
+        d.instr if d.instr is not None else -1,
+        d.code,
+        d.message,
+    ))

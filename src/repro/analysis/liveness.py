@@ -1,0 +1,115 @@
+"""Liveness: a backward may-analysis over the SafeTSA CFG.
+
+The fact at a point is the set of value ids that may still be read on
+some path to a function exit.  Facts flow backward: a block's live-out
+is the union over its out-edges of the successors' live-in, where each
+edge contributes the successor's phi *operands* for that specific
+predecessor position (the per-edge copy semantics of phis).
+
+Two views are provided:
+
+* :func:`analyze_liveness` -- the CFG dataflow (live-in/live-out per
+  block), built on :mod:`repro.analysis.dataflow`;
+* :func:`observable_values` -- the SSA-graph observability closure the
+  DCE pass uses (roots: side effects, traps, terminator operands).  A
+  phi outside this set is *dead* even when a cycle of dead phis keeps
+  referencing it -- this is what the ``STSA-PHI-101`` lint rule needs,
+  since plain CFG liveness would call mutually-referencing dead phis
+  "live".
+"""
+
+from __future__ import annotations
+
+from repro.analysis import dataflow
+from repro.opt.dce import _is_root
+from repro.ssa.ir import Block, Function, Instr
+
+
+class _LivenessAnalysis:
+    direction = dataflow.BACKWARD
+
+    def __init__(self, function: Function):
+        self.function = function
+        self.lattice = dataflow.SetLattice("union")
+
+    def boundary(self, function: Function) -> frozenset:
+        return frozenset()  # nothing is live past a return/throw
+
+    def join(self, a: frozenset, b: frozenset) -> frozenset:
+        return a | b
+
+    def transfer(self, block: Block, fact: frozenset) -> frozenset:
+        """``fact`` is the live-out; returns the live-in."""
+        live = set(fact)
+        if block.term is not None and block.term.value is not None:
+            live.add(block.term.value.id)
+        for instr in reversed(block.instrs):
+            live.discard(instr.id)
+            for operand in instr.operands:
+                live.add(operand.id)
+        # phi defs die at the block head; their operands live on the
+        # incoming edges (see :meth:`edge`), not inside this block
+        for phi in block.phis:
+            live.discard(phi.id)
+        return frozenset(live)
+
+    def edge(self, src: Block, index: int, dst: Block, kind: str,
+             fact: frozenset) -> frozenset:
+        """Backward edge hook: ``fact`` is ``dst``'s live-in; add the
+        phi operands ``dst`` reads along this particular edge."""
+        extra = set()
+        for position, (pred, pred_kind) in enumerate(dst.preds):
+            if pred is src and pred_kind == kind:
+                for phi in dst.phis:
+                    if position < len(phi.operands):
+                        extra.add(phi.operands[position].id)
+        return fact | extra if extra else fact
+
+
+class LivenessFacts:
+    """Query interface over the solved liveness facts."""
+
+    def __init__(self, function: Function,
+                 result: dataflow.DataflowResult):
+        self.function = function
+        self._result = result
+
+    def live_in(self, block: Block) -> frozenset:
+        return self._result.out_fact(block) or frozenset()
+
+    def live_out(self, block: Block) -> frozenset:
+        return self._result.in_fact(block) or frozenset()
+
+    def is_live_out(self, value: Instr, block: Block) -> bool:
+        return value.id in self.live_out(block)
+
+
+def analyze_liveness(function: Function) -> LivenessFacts:
+    """Solve the backward liveness problem for ``function``."""
+    analysis = _LivenessAnalysis(function)
+    result = dataflow.solve(function, analysis)
+    return LivenessFacts(function, result)
+
+
+def observable_values(function: Function) -> set[int]:
+    """Ids of values transitively reachable from an observable root
+    (side effect, trap, or terminator operand) -- the DCE mark set."""
+    live: set[int] = set()
+    worklist: list[Instr] = []
+
+    def mark(instr: Instr) -> None:
+        if instr.id not in live:
+            live.add(instr.id)
+            worklist.append(instr)
+
+    for block in function.reachable_blocks():
+        for instr in block.all_instrs():
+            if _is_root(instr):
+                mark(instr)
+        if block.term is not None and block.term.value is not None:
+            mark(block.term.value)
+    while worklist:
+        instr = worklist.pop()
+        for operand in instr.operands:
+            mark(operand)
+    return live

@@ -9,11 +9,14 @@ Usage::
     python -m repro.bench.runner verifycost   # E5: verification cost
     python -m repro.bench.runner jitspeed    # E9: consumer codegen speed
     python -m repro.bench.runner codec [--smoke] [--output PATH]
+    python -m repro.bench.runner analysis [--smoke] [--output PATH]
     python -m repro.bench.runner all
 
 ``codec`` times the wire codec and the compilation cache and writes the
-numbers to ``BENCH_codec.json``; ``--smoke`` runs a three-program subset
-with fewer repeats (the CI configuration).
+numbers to ``BENCH_codec.json``; ``analysis`` times verification and
+the lint driver per corpus artifact and writes ``BENCH_analysis.json``;
+``--smoke`` runs a three-program subset with fewer repeats (the CI
+configuration).
 
 Timed sections run best-of-N with a warmup pass (``REPRO_BENCH_REPEATS``
 overrides N, default 3): the minimum over repeats is the standard
@@ -303,6 +306,31 @@ def run_codec(argv=()) -> str:
     ])
 
 
+def run_analysis(argv=()) -> str:
+    from repro.bench.analysis import analysis_report
+    smoke = "--smoke" in argv
+    output = "BENCH_analysis.json"
+    argv = [arg for arg in argv if arg != "--smoke"]
+    if "--output" in argv:
+        output = argv[argv.index("--output") + 1]
+    programs = ("BitSieve", "BinaryCode", "Scanner") if smoke else None
+    repeats = 2 if smoke else None
+    report = analysis_report(programs, repeats=repeats, cache=_RUN_CACHE)
+    with open(output, "w") as handle:
+        json.dump(report, handle, indent=2)
+        handle.write("\n")
+    totals = report["totals"]
+    return "\n".join([
+        f"analysis benchmark ({'smoke, ' if smoke else ''}"
+        f"{totals['artifacts']} artifacts) -> {output}",
+        "",
+        f"  verify (fail-fast)  {totals['verify_ms']:8.2f} ms total",
+        f"  lint (all analyses) {totals['lint_ms']:8.2f} ms total",
+        f"  diagnostics: {totals['errors']} error(s), "
+        f"{totals['warnings']} warning(s), {totals['infos']} info",
+    ])
+
+
 COMMANDS = {
     "figure5": run_figure5,
     "figure6": run_figure6,
@@ -315,16 +343,21 @@ COMMANDS = {
 
 def main(argv=None) -> int:
     argv = argv if argv is not None else sys.argv[1:]
-    if not argv or argv[0] not in list(COMMANDS) + ["all", "codec"]:
+    if not argv or argv[0] not in list(COMMANDS) + ["all", "codec",
+                                                    "analysis"]:
         print(__doc__)
         return 2
     if argv[0] == "codec":
         print(run_codec(argv[1:]))
+    elif argv[0] == "analysis":
+        print(run_analysis(argv[1:]))
     elif argv[0] == "all":
         for name, command in COMMANDS.items():
             print(command())
             print()
         print(run_codec(argv[1:]))
+        print()
+        print(run_analysis(argv[1:]))
     else:
         print(COMMANDS[argv[0]]())
     return 0

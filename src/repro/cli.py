@@ -6,8 +6,10 @@ Subcommands::
     repro-cc run     FILE.java|FILE.stsa [--class NAME] [--optimize]
     repro-cc disasm  FILE.java|FILE.stsa [--optimize]
     repro-cc verify  FILE.stsa
+    repro-cc lint    FILE.java|FILE.stsa [--json] [--optimize]
     repro-cc stats   FILE.java
-    repro-cc bench   figure5|figure6|pruning|ablation|verifycost|codec|all
+    repro-cc bench   figure5|figure6|pruning|ablation|verifycost|codec|
+                     analysis|all
 """
 
 from __future__ import annotations
@@ -63,16 +65,45 @@ def cmd_disasm(args) -> int:
 
 
 def cmd_verify(args) -> int:
-    from repro.tsa.verifier import VerifyError, verify_module
+    from repro.analysis.diagnostics import Severity, has_errors
+    from repro.tsa.verifier import collect_diagnostics
     try:
         module = _load_module(args.file, optimize=False)
-        verify_module(module)
+        diagnostics = collect_diagnostics(module)
     except Exception as error:
         print(f"REJECTED: {error}")
+        return 1
+    for diagnostic in diagnostics:
+        print(diagnostic)
+    if has_errors(diagnostics):
+        errors = sum(d.severity == Severity.ERROR for d in diagnostics)
+        print(f"REJECTED: {errors} error(s)")
         return 1
     print(f"OK: {len(module.classes)} classes, "
           f"{module.instruction_count()} instructions verified")
     return 0
+
+
+def cmd_lint(args) -> int:
+    import json
+
+    from repro.analysis.diagnostics import has_errors
+    from repro.analysis.lint import lint_module, lint_report
+    try:
+        module = _load_module(args.file, optimize=args.optimize)
+    except Exception as error:
+        print(f"REJECTED: {error}", file=sys.stderr)
+        return 1
+    diagnostics = lint_module(module)
+    if args.json:
+        print(json.dumps(lint_report(diagnostics), indent=2))
+    else:
+        for diagnostic in diagnostics:
+            print(diagnostic)
+        counts = lint_report(diagnostics)["counts"]
+        print(f"{counts['error']} error(s), {counts['warning']} "
+              f"warning(s), {counts['info']} info")
+    return 1 if has_errors(diagnostics) else 0
 
 
 def cmd_stats(args) -> int:
@@ -124,6 +155,15 @@ def main(argv=None) -> int:
     p.add_argument("file")
     p.set_defaults(fn=cmd_verify)
 
+    p = sub.add_parser(
+        "lint", help="verifier + analysis lint with structured diagnostics")
+    p.add_argument("file")
+    p.add_argument("--json", action="store_true",
+                   help="emit the machine-readable report")
+    p.add_argument("--optimize", action="store_true",
+                   help="lint the optimized module")
+    p.set_defaults(fn=cmd_lint)
+
     p = sub.add_parser("stats", help="Figure 5/6 metrics for one source")
     p.add_argument("file")
     p.set_defaults(fn=cmd_stats)
@@ -131,7 +171,8 @@ def main(argv=None) -> int:
     p = sub.add_parser("bench", help="regenerate a paper table")
     p.add_argument("table", choices=["figure5", "figure6", "pruning",
                                      "ablation", "verifycost",
-                                     "jitspeed", "codec", "all"])
+                                     "jitspeed", "codec", "analysis",
+                                     "all"])
     p.set_defaults(fn=cmd_bench)
 
     args = parser.parse_args(argv)

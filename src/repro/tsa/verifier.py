@@ -25,12 +25,23 @@ Checked properties:
 6. exception discipline: a trapping instruction inside a try body
    terminates its subblock and the subblock has the exception edge to
    the correct dispatch block (Section 7).
+
+Every finding is a structured :class:`repro.analysis.Diagnostic` with a
+stable code, severity, and (function, block, instruction) location.
+:func:`verify_function` / :func:`verify_module` keep the historical
+fail-fast contract (raise :class:`VerifyError` on the first
+error-severity finding); :func:`collect_diagnostics` gathers *all*
+findings instead, including warning-severity ones such as unreachable
+blocks (``STSA-CFG-101``) that fail-fast verification deliberately
+tolerates -- an optimiser legitimately strands dispatch blocks, and
+unreachable blocks are never transmitted.
 """
 
 from __future__ import annotations
 
 from typing import Optional
 
+from repro.analysis.diagnostics import Diagnostic
 from repro.ssa.cst import CstError, derive_cfg, map_exception_contexts
 from repro.ssa.dominators import compute_dominators
 from repro.ssa import ir
@@ -50,18 +61,73 @@ THROWABLE = ClassType("java.lang.Throwable")
 
 
 class VerifyError(Exception):
-    """The module violates a SafeTSA well-formedness property."""
+    """The module violates a SafeTSA well-formedness property.
+
+    Carries the underlying :class:`Diagnostic`; ``code``, ``function``,
+    ``block`` and ``instr`` are exposed directly for error handling and
+    blame attribution.
+    """
+
+    def __init__(self, diagnostic):
+        if not isinstance(diagnostic, Diagnostic):
+            diagnostic = Diagnostic("STSA-GEN-001", str(diagnostic))
+        self.diagnostic = diagnostic
+        prefix = f"{diagnostic.function}: " if diagnostic.function else ""
+        super().__init__(
+            f"{prefix}{diagnostic.message} [{diagnostic.code}]")
+
+    @property
+    def code(self) -> str:
+        return self.diagnostic.code
+
+    @property
+    def function(self) -> Optional[str]:
+        return self.diagnostic.function
+
+    @property
+    def block(self) -> Optional[int]:
+        return self.diagnostic.block
+
+    @property
+    def instr(self) -> Optional[int]:
+        return self.diagnostic.instr
 
 
 class _FunctionVerifier:
-    def __init__(self, module: Module, function: Function):
+    def __init__(self, module: Module, function: Function,
+                 collect: bool = False):
         self.module = module
         self.world = module.world
         self.table = module.type_table
         self.function = function
+        #: collect-all mode: record diagnostics instead of failing fast
+        self.collect = collect
+        self.diagnostics: list[Diagnostic] = []
+        #: default location context for :meth:`fail`
+        self._ctx_block: Optional[Block] = None
+        self._ctx_instr: Optional[Instr] = None
 
-    def fail(self, message: str) -> None:
-        raise VerifyError(f"{self.function.name}: {message}")
+    def fail(self, message: str, code: str = "STSA-GEN-001", *,
+             block: Optional[Block] = None,
+             instr: Optional[Instr] = None) -> None:
+        block = block if block is not None else self._ctx_block
+        instr = instr if instr is not None else self._ctx_instr
+        raise VerifyError(Diagnostic(
+            code, message,
+            function=self.function.name,
+            block=block.id if block is not None else None,
+            instr=instr.id if instr is not None else None))
+
+    def _guard(self, check, *args) -> None:
+        """Run one check unit; in collect mode a failure is recorded and
+        verification continues with the next unit."""
+        if not self.collect:
+            check(*args)
+            return
+        try:
+            check(*args)
+        except VerifyError as error:
+            self.diagnostics.append(error.diagnostic)
 
     # ------------------------------------------------------------------
 
@@ -70,7 +136,13 @@ class _FunctionVerifier:
         try:
             derive_cfg(function)
         except CstError as error:
-            self.fail(f"bad control structure: {error}")
+            self._ctx_block = None
+            if self.collect:
+                self.diagnostics.append(Diagnostic(
+                    "STSA-CFG-001", f"bad control structure: {error}",
+                    function=function.name))
+                return  # nothing below is meaningful without a CFG
+            self.fail(f"bad control structure: {error}", "STSA-CFG-001")
         self.domtree = compute_dominators(function)
         self.dispatch_of = map_exception_contexts(function.cst)
         self.linear: dict[int, tuple[Block, int]] = {}
@@ -79,119 +151,161 @@ class _FunctionVerifier:
                 self.linear[instr.id] = (block, position)
         for block in function.blocks:
             if block not in self.domtree.idom:
-                continue  # unreachable blocks carry no code
+                # unreachable blocks carry no code and are never
+                # transmitted; fail-fast verification tolerates them,
+                # collect mode surfaces them as a lint warning
+                if self.collect:
+                    self.diagnostics.append(Diagnostic(
+                        "STSA-CFG-101",
+                        f"B{block.id} is unreachable from the entry",
+                        function=function.name, block=block.id))
+                continue
             self._verify_block(block)
 
     # ------------------------------------------------------------------
 
     def _verify_block(self, block: Block) -> None:
+        self._ctx_block = block
+        self._ctx_instr = None
         dispatch = self.dispatch_of.get(block.id)
         pred_kinds = {kind for _, kind in block.preds}
-        if "exc" in pred_kinds and "norm" in pred_kinds:
-            self.fail(f"B{block.id} mixes normal and exception predecessors")
+        self._guard(self._verify_pred_kinds, block, pred_kinds)
         for phi in block.phis:
-            self._verify_phi(block, phi)
+            self._ctx_instr = phi
+            self._guard(self._verify_phi, block, phi)
         for position, instr in enumerate(block.instrs):
-            self._verify_operand_dominance(block, instr)
-            self._verify_instr(block, instr)
-            if instr.traps and dispatch is not None:
-                if position != len(block.instrs) - 1:
-                    self.fail(
-                        f"trapping v{instr.id} is not last in its subblock "
-                        f"B{block.id}")
-                if block.exc_succ() is not dispatch:
-                    self.fail(
-                        f"B{block.id} lacks the exception edge to its "
-                        "dispatch block")
-                if block.term is None or block.term.kind != "fall":
-                    self.fail(
-                        f"B{block.id} with a trapping tail must fall through")
-            if isinstance(instr, ir.CaughtExc):
-                if not block.preds or pred_kinds != {"exc"}:
-                    self.fail(
-                        f"caughtexc in B{block.id} which is not a dispatch "
-                        "block")
-        self._verify_term(block, dispatch)
-        if block.exc_succ() is not None:
-            term = block.term
-            ends_with_trap = bool(block.instrs) and block.instrs[-1].traps
-            if not (term is not None
-                    and ((term.kind == "fall" and ends_with_trap)
-                         or term.kind == "throw")):
-                self.fail(f"B{block.id} has an exception edge but no "
-                          "exception point")
+            self._ctx_instr = instr
+            self._guard(self._verify_operand_dominance, block, instr)
+            self._guard(self._verify_instr, block, instr)
+            self._guard(self._verify_exception_discipline, block, instr,
+                        position, dispatch, pred_kinds)
+        self._ctx_instr = None
+        self._guard(self._verify_term, block, dispatch)
+        self._guard(self._verify_exc_edge, block, dispatch)
+
+    def _verify_pred_kinds(self, block: Block, pred_kinds: set) -> None:
+        if "exc" in pred_kinds and "norm" in pred_kinds:
+            self.fail(f"B{block.id} mixes normal and exception "
+                      "predecessors", "STSA-CFG-003")
+
+    def _verify_exception_discipline(self, block: Block, instr: Instr,
+                                     position: int,
+                                     dispatch: Optional[Block],
+                                     pred_kinds: set) -> None:
+        if instr.traps and dispatch is not None:
+            if position != len(block.instrs) - 1:
+                self.fail(
+                    f"trapping v{instr.id} is not last in its subblock "
+                    f"B{block.id}", "STSA-EXC-001")
             if block.exc_succ() is not dispatch:
-                self.fail(f"B{block.id} exception edge escapes its try")
+                self.fail(
+                    f"B{block.id} lacks the exception edge to its "
+                    "dispatch block", "STSA-EXC-002")
+            if block.term is None or block.term.kind != "fall":
+                self.fail(
+                    f"B{block.id} with a trapping tail must fall through",
+                    "STSA-EXC-003")
+        if isinstance(instr, ir.CaughtExc):
+            if not block.preds or pred_kinds != {"exc"}:
+                self.fail(
+                    f"caughtexc in B{block.id} which is not a dispatch "
+                    "block", "STSA-EXC-004")
+
+    def _verify_exc_edge(self, block: Block,
+                         dispatch: Optional[Block]) -> None:
+        if block.exc_succ() is None:
+            return
+        term = block.term
+        ends_with_trap = bool(block.instrs) and block.instrs[-1].traps
+        if not (term is not None
+                and ((term.kind == "fall" and ends_with_trap)
+                     or term.kind == "throw")):
+            self.fail(f"B{block.id} has an exception edge but no "
+                      "exception point", "STSA-EXC-005")
+        if block.exc_succ() is not dispatch:
+            self.fail(f"B{block.id} exception edge escapes its try",
+                      "STSA-EXC-006")
 
     def _verify_phi(self, block: Block, phi: Phi) -> None:
         if len(phi.operands) != len(block.preds):
             self.fail(f"phi v{phi.id} has {len(phi.operands)} operands for "
-                      f"{len(block.preds)} predecessors")
+                      f"{len(block.preds)} predecessors", "STSA-PHI-001")
         for operand, (pred, _kind) in zip(phi.operands, block.preds):
             if operand.plane != phi.plane:
                 self.fail(f"phi v{phi.id} operand v{operand.id} is on plane "
-                          f"{operand.plane}, not {phi.plane}")
+                          f"{operand.plane}, not {phi.plane}",
+                          "STSA-PHI-002")
             self._check_available_at_end(pred, operand,
                                          f"phi v{phi.id} operand")
 
     def _check_available_at_end(self, pred: Block, operand: Instr,
                                 what: str) -> None:
+        if pred not in self.domtree.idom:
+            # an edge from an unreachable predecessor can never execute;
+            # its operand slot is dead data (the block itself is the
+            # STSA-CFG-101 finding, and cleanup excises it)
+            return
         def_block, _pos = self.linear.get(operand.id, (None, -1))
         if def_block is None:
-            self.fail(f"{what} v{operand.id} has no definition")
+            self.fail(f"{what} v{operand.id} has no definition",
+                      "STSA-REF-003")
         if not self.domtree.dominates(def_block, pred):
             self.fail(f"{what} v{operand.id} (B{def_block.id}) does not "
-                      f"dominate predecessor B{pred.id}")
+                      f"dominate predecessor B{pred.id}", "STSA-PHI-003")
 
     def _verify_operand_dominance(self, block: Block, instr: Instr) -> None:
         _, use_pos = self.linear[instr.id]
         for operand in instr.operands:
             entry = self.linear.get(operand.id)
             if entry is None:
-                self.fail(f"v{instr.id} references undefined v{operand.id}")
+                self.fail(f"v{instr.id} references undefined v{operand.id}",
+                          "STSA-REF-003")
             def_block, def_pos = entry
             if def_block is block:
                 if def_pos >= use_pos:
                     self.fail(f"v{instr.id} uses v{operand.id} before its "
-                              f"definition in B{block.id}")
+                              f"definition in B{block.id}", "STSA-REF-001")
             elif not self.domtree.dominates(def_block, block):
                 self.fail(
                     f"v{instr.id} in B{block.id} references v{operand.id} "
-                    f"in non-dominating B{def_block.id}")
+                    f"in non-dominating B{def_block.id}", "STSA-REF-002")
 
     def _verify_term(self, block: Block, dispatch: Optional[Block]) -> None:
         term = block.term
         if term is None:
-            self.fail(f"B{block.id} has no terminator")
+            self.fail(f"B{block.id} has no terminator", "STSA-CFG-002")
         value = term.value
         if value is not None:
             entry = self.linear.get(value.id)
             if entry is None:
                 self.fail(f"terminator of B{block.id} references undefined "
-                          f"value")
+                          f"value", "STSA-REF-003")
             def_block, _pos = entry
             if def_block is not block \
                     and not self.domtree.dominates(def_block, block):
                 self.fail(f"terminator of B{block.id} references "
-                          "non-dominating value")
+                          "non-dominating value", "STSA-REF-002")
         if term.kind == "branch":
             if value is None or value.plane != Plane.of_type(BOOLEAN):
-                self.fail(f"branch in B{block.id} is not on a boolean")
+                self.fail(f"branch in B{block.id} is not on a boolean",
+                          "STSA-TYP-005")
         elif term.kind == "return":
             expected = self.function.method.return_type
             if expected is VOID:
                 if value is not None:
-                    self.fail("void method returns a value")
+                    self.fail("void method returns a value",
+                              "STSA-TYP-006")
             else:
                 if value is None:
-                    self.fail("missing return value")
+                    self.fail("missing return value", "STSA-TYP-006")
                 if value.plane != Plane.of_type(expected):
                     self.fail(f"return value on plane {value.plane}, "
-                              f"expected {Plane.of_type(expected)}")
+                              f"expected {Plane.of_type(expected)}",
+                              "STSA-TYP-006")
         elif term.kind == "throw":
             if value is None or value.plane != Plane.safe(THROWABLE):
                 self.fail("throw operand must be on the safe Throwable "
-                          "plane")
+                          "plane", "STSA-TYP-007")
 
     # ------------------------------------------------------------------
     # per-instruction rules
@@ -204,40 +318,46 @@ class _FunctionVerifier:
         if plane is not None and plane.kind != "safeidx" \
                 and plane.type not in self.table:
             self.fail(f"v{instr.id} produces a value of type {plane.type} "
-                      "absent from the type table")
+                      "absent from the type table", "STSA-TYP-004")
 
     def _require_plane(self, instr: Instr, index: int, plane: Plane) -> None:
         operand = instr.operands[index]
         if operand.plane != plane:
             self.fail(f"v{instr.id} operand {index} is on plane "
-                      f"{operand.plane}, expected {plane}")
+                      f"{operand.plane}, expected {plane}", "STSA-TYP-001")
 
     def _rule_const(self, block: Block, instr: ir.Const) -> None:
         if block is not self.function.entry:
-            self.fail(f"const v{instr.id} outside the entry block")
+            self.fail(f"const v{instr.id} outside the entry block",
+                      "STSA-STR-001")
         if instr.type.is_reference() and instr.value is not None \
                 and not isinstance(instr.value, str):
-            self.fail(f"const v{instr.id} has a non-null reference value")
+            self.fail(f"const v{instr.id} has a non-null reference value",
+                      "STSA-STR-005")
 
     def _rule_param(self, block: Block, instr: ir.Param) -> None:
         if block is not self.function.entry:
-            self.fail(f"param v{instr.id} outside the entry block")
+            self.fail(f"param v{instr.id} outside the entry block",
+                      "STSA-STR-002")
         method = self.function.method
         arity = len(method.param_types) + (0 if method.is_static else 1)
         if not 0 <= instr.index < arity:
-            self.fail(f"param index {instr.index} out of range")
+            self.fail(f"param index {instr.index} out of range",
+                      "STSA-STR-003")
         if instr.plane.kind == "safe" and (method.is_static
                                            or instr.index != 0):
-            self.fail("only 'this' may be pre-loaded on a safe plane")
+            self.fail("only 'this' may be pre-loaded on a safe plane",
+                      "STSA-STR-004")
 
     def _rule_prim(self, block: Block, instr: ir.Prim) -> None:
         operation = instr.operation
         table = OPS_BY_TYPE.get(operation.base)
         if table is None or operation not in table:
-            self.fail(f"unknown operation {operation.qualified_name}")
+            self.fail(f"unknown operation {operation.qualified_name}",
+                      "STSA-TYP-002")
         if len(instr.operands) != len(operation.params):
             self.fail(f"v{instr.id} wrong arity for "
-                      f"{operation.qualified_name}")
+                      f"{operation.qualified_name}", "STSA-TYP-003")
         for i, param in enumerate(operation.params):
             self._require_plane(instr, i, Plane.of_type(param))
 
@@ -249,23 +369,24 @@ class _FunctionVerifier:
     def _rule_nullcheck(self, block: Block, instr: ir.NullCheck) -> None:
         self._require_plane(instr, 0, Plane.of_type(instr.ref_type))
         if not instr.ref_type.is_reference():
-            self.fail("nullcheck of a non-reference type")
+            self.fail("nullcheck of a non-reference type", "STSA-TYP-010")
 
     def _rule_idxcheck(self, block: Block, instr: ir.IdxCheck) -> None:
         array = instr.array
         if array.plane.kind != "safe" \
                 or not isinstance(array.plane.type, ArrayType):
             self.fail(f"idxcheck v{instr.id} array operand is not a safe "
-                      "array reference")
+                      "array reference", "STSA-MEM-005")
         self._require_plane(instr, 1, Plane.of_type(INT))
         if instr.plane.kind != "safeidx" or instr.plane.key is not array:
-            self.fail(f"idxcheck v{instr.id} result plane mismatch")
+            self.fail(f"idxcheck v{instr.id} result plane mismatch",
+                      "STSA-MEM-007")
 
     def _rule_upcast(self, block: Block, instr: ir.Upcast) -> None:
         operand = instr.operands[0]
         if operand.plane.kind != "ref" or not instr.target_type.is_reference():
             self.fail(f"upcast v{instr.id} must move between reference "
-                      "planes")
+                      "planes", "STSA-TYP-009")
 
     def _rule_downcast(self, block: Block, instr: ir.Downcast) -> None:
         source = instr.operands[0].plane
@@ -275,52 +396,55 @@ class _FunctionVerifier:
               and not (source.kind == "ref" and target.kind == "safe")
               and self.world.is_subtype(source.type, target.type))
         if not ok:
-            self.fail(f"illegal downcast {source} -> {target}")
+            self.fail(f"illegal downcast {source} -> {target}",
+                      "STSA-TYP-008")
 
     def _safe_base(self, instr: Instr, index: int, base_type: Type,
                    what: str) -> None:
         operand = instr.operands[index]
         if operand.plane != Plane.safe(base_type):
             self.fail(f"{what} v{instr.id} object operand on plane "
-                      f"{operand.plane}, expected {Plane.safe(base_type)}")
+                      f"{operand.plane}, expected {Plane.safe(base_type)}",
+                      "STSA-MEM-001")
 
     def _rule_getfield(self, block: Block, instr: ir.GetField) -> None:
         self._safe_base(instr, 0, instr.base.type, "getfield")
         if instr.field.is_static:
-            self.fail("getfield of a static field")
+            self.fail("getfield of a static field", "STSA-MEM-002")
         if instr.field not in self.table.field_table(instr.base):
             self.fail(f"field {instr.field.name} not reachable from "
-                      f"{instr.base.name}")
+                      f"{instr.base.name}", "STSA-MEM-003")
 
     def _rule_setfield(self, block: Block, instr: ir.SetField) -> None:
         self._safe_base(instr, 0, instr.base.type, "setfield")
         if instr.field.is_static:
-            self.fail("setfield of a static field")
+            self.fail("setfield of a static field", "STSA-MEM-002")
         if instr.field not in self.table.field_table(instr.base):
             self.fail(f"field {instr.field.name} not reachable from "
-                      f"{instr.base.name}")
+                      f"{instr.base.name}", "STSA-MEM-003")
         self._require_plane(instr, 1, Plane.of_type(instr.field.type))
 
     def _rule_getstatic(self, block: Block, instr: ir.GetStatic) -> None:
         if not instr.field.is_static:
-            self.fail("getstatic of an instance field")
+            self.fail("getstatic of an instance field", "STSA-MEM-002")
 
     def _rule_setstatic(self, block: Block, instr: ir.SetStatic) -> None:
         if not instr.field.is_static:
-            self.fail("setstatic of an instance field")
+            self.fail("setstatic of an instance field", "STSA-MEM-002")
         if instr.field.is_final and instr.field.declaring.is_builtin:
-            self.fail("setstatic of a final library field")
+            self.fail("setstatic of a final library field", "STSA-MEM-004")
         self._require_plane(instr, 0, Plane.of_type(instr.field.type))
 
     def _elt_planes(self, instr: Instr) -> None:
         array = instr.operands[0]
         if array.plane != Plane.safe(instr.array_type):
             self.fail(f"v{instr.id} array operand on plane {array.plane}, "
-                      f"expected {Plane.safe(instr.array_type)}")
+                      f"expected {Plane.safe(instr.array_type)}",
+                      "STSA-MEM-005")
         index = instr.operands[1]
         if index.plane.kind != "safeidx" or index.plane.key is not array:
             self.fail(f"v{instr.id} index operand is not a safe index of "
-                      "the same array value")
+                      "the same array value", "STSA-MEM-006")
 
     def _rule_getelt(self, block: Block, instr: ir.GetElt) -> None:
         self._elt_planes(instr)
@@ -332,7 +456,8 @@ class _FunctionVerifier:
 
     def _rule_arraylen(self, block: Block, instr: ir.ArrayLen) -> None:
         if instr.operands[0].plane != Plane.safe(instr.array_type):
-            self.fail(f"arraylen v{instr.id} operand plane mismatch")
+            self.fail(f"arraylen v{instr.id} operand plane mismatch",
+                      "STSA-MEM-005")
 
     def _rule_newarray(self, block: Block, instr: ir.NewArray) -> None:
         self._require_plane(instr, 0, Plane.of_type(INT))
@@ -340,24 +465,26 @@ class _FunctionVerifier:
     def _rule_instanceof(self, block: Block, instr: ir.InstanceOf) -> None:
         if instr.operands[0].plane.kind != "ref":
             self.fail(f"instanceof v{instr.id} operand must be an unsafe "
-                      "reference")
+                      "reference", "STSA-TYP-011")
         if not instr.target_type.is_reference():
-            self.fail("instanceof against a non-reference type")
+            self.fail("instanceof against a non-reference type",
+                      "STSA-TYP-011")
 
     def _rule_call(self, block: Block, instr: ir.Call) -> None:
         method = instr.method
         if method not in self.table.method_table(instr.base):
             self.fail(f"method {method.name} not reachable from "
-                      f"{instr.base.name}")
+                      f"{instr.base.name}", "STSA-MEM-003")
         if instr.dispatch and method.is_static:
-            self.fail("xdispatch of a static method")
+            self.fail("xdispatch of a static method", "STSA-CALL-001")
         expected = list(method.param_types)
         offset = 0
         if not method.is_static:
             self._safe_base(instr, 0, instr.base.type, instr.opcode)
             offset = 1
         if len(instr.operands) != offset + len(expected):
-            self.fail(f"{instr.opcode} v{instr.id} wrong arity")
+            self.fail(f"{instr.opcode} v{instr.id} wrong arity",
+                      "STSA-TYP-003")
         for i, param in enumerate(expected):
             self._require_plane(instr, offset + i, Plane.of_type(param))
 
@@ -371,3 +498,22 @@ def verify_module(module: Module) -> None:
     """Verify every function of a module."""
     for function in module.functions.values():
         verify_function(module, function)
+
+
+def collect_diagnostics(module: Module,
+                        function: Optional[Function] = None) \
+        -> list[Diagnostic]:
+    """Collect *all* verifier diagnostics instead of failing fast.
+
+    Returns every well-formedness error plus warning-severity findings
+    (unreachable blocks) for ``function``, or for every function of
+    ``module`` when ``function`` is None.
+    """
+    functions = [function] if function is not None \
+        else list(module.functions.values())
+    diagnostics: list[Diagnostic] = []
+    for target in functions:
+        verifier = _FunctionVerifier(module, target, collect=True)
+        verifier.verify()
+        diagnostics.extend(verifier.diagnostics)
+    return diagnostics
