@@ -5,8 +5,8 @@ PYTHON ?= python3
 # Targets work from a bare checkout too (no editable install needed).
 export PYTHONPATH := src:$(PYTHONPATH)
 
-.PHONY: test bench bench-smoke bench-analysis lint-corpus tables examples \
-	all clean
+.PHONY: test bench bench-smoke bench-analysis bench-pipeline lint-corpus \
+	tables examples all clean
 
 test:
 	$(PYTHON) -m pytest tests/ -q
@@ -22,6 +22,11 @@ bench-smoke:
 # Verify + lint cost over a corpus subset; writes BENCH_analysis.json.
 bench-analysis:
 	$(PYTHON) -m repro.bench.runner analysis --smoke
+
+# Pass-pipeline benchmark: shared-analysis reuse, per-pass timing, and
+# the parallel fan-out determinism check; writes BENCH_pipeline.json.
+bench-pipeline:
+	$(PYTHON) -m repro.bench.runner pipeline --smoke
 
 # Lint every corpus program with the structured-diagnostics driver;
 # a non-zero exit (any error-severity diagnostic) fails the build.

@@ -48,11 +48,22 @@ def rule(name: str):
     return register
 
 
+def _uses_analyses(fn):
+    """Mark a rule as accepting the ``analyses`` keyword; unmarked rules
+    (including externally registered ones) keep the historical
+    ``rule(module, function)`` call contract."""
+    fn.uses_analyses = True
+    return fn
+
+
 @rule("dead-phi")
-def _dead_phi(module: Module, function: Function) -> Iterator[Diagnostic]:
+@_uses_analyses
+def _dead_phi(module: Module, function: Function,
+              analyses=None) -> Iterator[Diagnostic]:
     """A phi with no path to an observable use -- including cycles of
     phis that only feed each other -- does useful work for nobody."""
-    observable = observable_values(function)
+    observable = analyses.get("observable", function) \
+        if analyses is not None else observable_values(function)
     for block in function.reachable_blocks():
         for phi in block.phis:
             if phi.id not in observable:
@@ -63,9 +74,11 @@ def _dead_phi(module: Module, function: Function) -> Iterator[Diagnostic]:
 
 
 @rule("redundant-nullcheck")
-def _redundant_nullcheck(module: Module,
-                         function: Function) -> Iterator[Diagnostic]:
-    facts = analyze_nullness(function)
+@_uses_analyses
+def _redundant_nullcheck(module: Module, function: Function,
+                         analyses=None) -> Iterator[Diagnostic]:
+    facts = analyses.get("nullness", function) \
+        if analyses is not None else analyze_nullness(function)
     for block in function.reachable_blocks():
         for instr in block.instrs:
             if isinstance(instr, ir.NullCheck) \
@@ -79,9 +92,11 @@ def _redundant_nullcheck(module: Module,
 
 
 @rule("redundant-idxcheck")
-def _redundant_idxcheck(module: Module,
-                        function: Function) -> Iterator[Diagnostic]:
-    facts = analyze_ranges(function)
+@_uses_analyses
+def _redundant_idxcheck(module: Module, function: Function,
+                        analyses=None) -> Iterator[Diagnostic]:
+    facts = analyses.get("range", function) \
+        if analyses is not None else analyze_ranges(function)
     for block in function.reachable_blocks():
         for instr in block.instrs:
             if isinstance(instr, ir.IdxCheck) \
@@ -96,26 +111,39 @@ def _redundant_idxcheck(module: Module,
 
 def lint_function(module: Module, function: Function,
                   rules: Optional[Iterable[str]] = None,
-                  include_verifier: bool = True) -> list[Diagnostic]:
-    """Run the verifier (collect mode) and the selected lint rules."""
+                  include_verifier: bool = True,
+                  analyses=None) -> list[Diagnostic]:
+    """Run the verifier (collect mode) and the selected lint rules.
+
+    ``analyses`` is an optional :class:`repro.analysis.manager.
+    AnalysisManager`; rules marked as analysis-aware consume cached
+    results through it instead of re-solving per rule.
+    """
     names = list(rules) if rules is not None else sorted(LINT_RULES)
     diagnostics: list[Diagnostic] = []
     if include_verifier:
-        diagnostics.extend(collect_diagnostics(module, function))
+        diagnostics.extend(
+            collect_diagnostics(module, function, analyses=analyses))
     for name in names:
-        diagnostics.extend(LINT_RULES[name](module, function))
+        checker = LINT_RULES[name]
+        if analyses is not None and getattr(checker, "uses_analyses",
+                                            False):
+            diagnostics.extend(checker(module, function, analyses))
+        else:
+            diagnostics.extend(checker(module, function))
     return sort_diagnostics(diagnostics)
 
 
 def lint_module(module: Module,
                 rules: Optional[Iterable[str]] = None,
-                include_verifier: bool = True) -> list[Diagnostic]:
+                include_verifier: bool = True,
+                analyses=None) -> list[Diagnostic]:
     """Lint every function of ``module``; deterministically sorted."""
     diagnostics: list[Diagnostic] = []
     for function in module.functions.values():
         diagnostics.extend(lint_function(
             module, function, rules=rules,
-            include_verifier=include_verifier))
+            include_verifier=include_verifier, analyses=analyses))
     return sort_diagnostics(diagnostics)
 
 

@@ -13,16 +13,19 @@ from typing import Optional
 
 
 def compile_source(source: str, *, optimize: bool = False,
-                   prune_phis: bool = True, filename: str = "<source>"):
+                   passes=None, prune_phis: bool = True,
+                   filename: str = "<source>"):
     """Compile MiniJava++ source text to a SafeTSA :class:`~repro.tsa.module.Module`.
 
     ``optimize`` runs the paper's producer-side pipeline (constant
     propagation, CSE with memory dependence, check elimination, DCE)
-    before layout.  ``prune_phis`` applies Briggs-style dead-phi pruning
-    during SSA construction (Section 7 reports ~31% fewer phis).
+    before layout; ``passes`` selects an explicit pipeline spec instead
+    (see :func:`repro.driver.passes.parse_pass_spec`).  ``prune_phis``
+    applies Briggs-style dead-phi pruning during SSA construction
+    (Section 7 reports ~31% fewer phis).
     """
     from repro.pipeline import compile_to_module
-    return compile_to_module(source, optimize=optimize,
+    return compile_to_module(source, optimize=optimize, passes=passes,
                              prune_phis=prune_phis, filename=filename)
 
 

@@ -10,13 +10,16 @@ Usage::
     python -m repro.bench.runner jitspeed    # E9: consumer codegen speed
     python -m repro.bench.runner codec [--smoke] [--output PATH]
     python -m repro.bench.runner analysis [--smoke] [--output PATH]
+    python -m repro.bench.runner pipeline [--smoke] [--output PATH]
     python -m repro.bench.runner all
 
 ``codec`` times the wire codec and the compilation cache and writes the
 numbers to ``BENCH_codec.json``; ``analysis`` times verification and
 the lint driver per corpus artifact and writes ``BENCH_analysis.json``;
-``--smoke`` runs a three-program subset with fewer repeats (the CI
-configuration).
+``pipeline`` measures the pass pipeline (analysis-cache reuse, per-pass
+seconds, parallel fan-out determinism) and writes
+``BENCH_pipeline.json``; ``--smoke`` runs a three-program subset with
+fewer repeats (the CI configuration).
 
 Timed sections run best-of-N with a warmup pass (``REPRO_BENCH_REPEATS``
 overrides N, default 3): the minimum over repeats is the standard
@@ -306,6 +309,40 @@ def run_codec(argv=()) -> str:
     ])
 
 
+def run_pipeline(argv=()) -> str:
+    from repro.bench.pipeline import pipeline_report
+    smoke = "--smoke" in argv
+    output = "BENCH_pipeline.json"
+    argv = [arg for arg in argv if arg != "--smoke"]
+    if "--output" in argv:
+        output = argv[argv.index("--output") + 1]
+    programs = ("BitSieve", "BinaryCode", "Scanner") if smoke else None
+    repeats = 2 if smoke else None
+    report = pipeline_report(programs, repeats=repeats)
+    with open(output, "w") as handle:
+        json.dump(report, handle, indent=2)
+        handle.write("\n")
+    cache = report["analysis_cache"]
+    determinism = report["determinism"]
+    return "\n".join([
+        f"pipeline benchmark ({'smoke, ' if smoke else ''}"
+        f"{report['artifacts']} artifacts) -> {output}",
+        "",
+        f"  serial (per-consumer analyses) "
+        f"{report['serial']['seconds']:8.3f} s",
+        f"  session (shared analyses)      "
+        f"{report['session']['seconds']:8.3f} s",
+        f"  parallel ({report['parallel']['workers']} worker(s))        "
+        f"{report['parallel']['seconds']:8.3f} s  "
+        f"({report['parallel_speedup_vs_serial']}x vs serial)",
+        f"  analysis cache: {cache['consumers_per_computed']} consumers "
+        f"per computed result (hit rate {cache['hit_rate']:.0%})",
+        f"  determinism: identical bytes for "
+        f"{determinism['artifacts']} artifact(s): "
+        f"{determinism['identical_bytes']}",
+    ])
+
+
 def run_analysis(argv=()) -> str:
     from repro.bench.analysis import analysis_report
     smoke = "--smoke" in argv
@@ -344,13 +381,16 @@ COMMANDS = {
 def main(argv=None) -> int:
     argv = argv if argv is not None else sys.argv[1:]
     if not argv or argv[0] not in list(COMMANDS) + ["all", "codec",
-                                                    "analysis"]:
+                                                    "analysis",
+                                                    "pipeline"]:
         print(__doc__)
         return 2
     if argv[0] == "codec":
         print(run_codec(argv[1:]))
     elif argv[0] == "analysis":
         print(run_analysis(argv[1:]))
+    elif argv[0] == "pipeline":
+        print(run_pipeline(argv[1:]))
     elif argv[0] == "all":
         for name, command in COMMANDS.items():
             print(command())
@@ -358,6 +398,8 @@ def main(argv=None) -> int:
         print(run_codec(argv[1:]))
         print()
         print(run_analysis(argv[1:]))
+        print()
+        print(run_pipeline(argv[1:]))
     else:
         print(COMMANDS[argv[0]]())
     return 0

@@ -2,14 +2,15 @@
 
 Subcommands::
 
-    repro-cc compile FILE.java -o FILE.stsa [--optimize] [--no-prune]
+    repro-cc compile FILE.java -o FILE.stsa [--optimize] [--passes SPEC]
+                     [--jobs N] [--no-prune] [--report]
     repro-cc run     FILE.java|FILE.stsa [--class NAME] [--optimize]
     repro-cc disasm  FILE.java|FILE.stsa [--optimize]
     repro-cc verify  FILE.stsa
     repro-cc lint    FILE.java|FILE.stsa [--json] [--optimize]
     repro-cc stats   FILE.java
     repro-cc bench   figure5|figure6|pruning|ablation|verifycost|codec|
-                     analysis|all
+                     analysis|pipeline|all
 """
 
 from __future__ import annotations
@@ -19,24 +20,42 @@ import sys
 from pathlib import Path
 
 
-def _load_module(path: str, optimize: bool, prune: bool = True):
+def _load_module(path: str, optimize: bool, prune: bool = True,
+                 passes=None, jobs=None):
     from repro.encode.deserializer import decode_module
     from repro.pipeline import compile_to_module
     data = Path(path).read_bytes()
     if path.endswith(".stsa"):
         return decode_module(data)
     return compile_to_module(data.decode("utf-8"), optimize=optimize,
-                             prune_phis=prune, filename=path)
+                             prune_phis=prune, filename=path,
+                             passes=passes, jobs=jobs)
 
 
 def cmd_compile(args) -> int:
-    from repro.encode.serializer import encode_module
-    module = _load_module(args.file, args.optimize, not args.no_prune)
-    wire = encode_module(module)
-    out = args.output or str(Path(args.file).with_suffix(".stsa"))
+    from repro.driver import CompilationSession
+    source_path = Path(args.file)
+    if args.file.endswith(".stsa"):
+        print("compile expects Java source, not .stsa", file=sys.stderr)
+        return 1
+    try:
+        session = CompilationSession(
+            optimize=args.optimize, passes=args.passes,
+            prune_phis=not args.no_prune, filename=args.file,
+            cache=False, jobs=args.jobs)
+    except ValueError as error:
+        print(f"--passes: {error}", file=sys.stderr)
+        return 2
+    module = session.build_module(source_path.read_text())
+    session.optimize(module)
+    wire = session.encode(module)
+    out = args.output or str(source_path.with_suffix(".stsa"))
     Path(out).write_bytes(wire)
     print(f"{out}: {len(wire)} bytes, {module.instruction_count()} "
           f"instructions, {len(module.classes)} classes")
+    if args.report:
+        import json
+        print(json.dumps(session.pass_report(), indent=2))
     return 0
 
 
@@ -109,11 +128,21 @@ def cmd_lint(args) -> int:
 def cmd_stats(args) -> int:
     from repro.bench.metrics import measure_program
     from repro.bench.tables import figure5_table, figure6_table
+    from repro.driver import CompilationSession
     source = Path(args.file).read_text()
     rows = measure_program(Path(args.file).stem, source)
     print(figure5_table(rows))
     print()
     print(figure6_table(rows))
+    session = CompilationSession(optimize=True, cache=False,
+                                 filename=args.file)
+    session.optimize(session.build_module(source))
+    report = session.pass_report()
+    print()
+    print(f"pass pipeline [{report['spec']}] over "
+          f"{report['functions']} function(s):")
+    for name, seconds in report["pass_seconds"].items():
+        print(f"  {name:<10} {seconds * 1e3:8.3f} ms")
     return 0
 
 
@@ -132,8 +161,18 @@ def main(argv=None) -> int:
     p.add_argument("file")
     p.add_argument("-o", "--output")
     p.add_argument("--optimize", action="store_true")
+    p.add_argument("--passes", default=None, metavar="SPEC",
+                   help="explicit pipeline spec, e.g. "
+                        "'constprop,cse_fields,dce' ('' disables all "
+                        "passes); overrides --optimize")
+    p.add_argument("--jobs", type=int, default=None, metavar="N",
+                   help="optimize functions across N threads "
+                        "(0 = one per CPU); output is identical to a "
+                        "serial compile")
     p.add_argument("--no-prune", action="store_true",
                    help="keep eagerly inserted phis")
+    p.add_argument("--report", action="store_true",
+                   help="print the per-pass timing/statistics report")
     p.set_defaults(fn=cmd_compile)
 
     p = sub.add_parser("run", help="execute a program's static main")
@@ -172,7 +211,7 @@ def main(argv=None) -> int:
     p.add_argument("table", choices=["figure5", "figure6", "pruning",
                                      "ablation", "verifycost",
                                      "jitspeed", "codec", "analysis",
-                                     "all"])
+                                     "pipeline", "all"])
     p.set_defaults(fn=cmd_bench)
 
     args = parser.parse_args(argv)

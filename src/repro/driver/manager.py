@@ -1,0 +1,97 @@
+"""The pass manager: declarative pipelines over registered passes.
+
+A :class:`PassManager` is constructed from a pipeline spec (see
+:func:`repro.driver.passes.parse_pass_spec`) and runs the selected
+passes over functions in canonical slot order, producing one
+:class:`~repro.driver.report.PassReport` per function with per-pass
+wall-clock timing and statistics.
+
+When an :class:`~repro.analysis.manager.AnalysisManager` is supplied,
+passes consume cached analyses through it and the manager invalidates
+each function's results after every pass according to the pass's
+``preserves`` declaration (a pass that changed nothing preserves
+everything -- see :meth:`repro.driver.passes.Pass.preserved_after`).
+
+``check_after_each_pass`` keeps the PR-2 invariant machinery: the
+function is verified before the first pass and re-verified after every
+pass, and the first violation is attributed -- as a
+:class:`~repro.driver.passes.PassCheckError` carrying the collected
+diagnostics -- to the pass that introduced it.
+"""
+
+from __future__ import annotations
+
+from time import perf_counter
+from typing import Optional
+
+from repro.analysis.diagnostics import Severity
+from repro.analysis.manager import AnalysisManager
+from repro.driver.passes import (
+    PASS_REGISTRY,
+    PassCheckError,
+    PassSpec,
+    parse_pass_spec,
+    run_step,
+    spec_string,
+)
+from repro.driver.report import PassReport
+
+
+class PassManager:
+    """Runs a declaratively specified pipeline over functions."""
+
+    def __init__(self, passes: PassSpec = None, *,
+                 check_after_each_pass: bool = False):
+        self.names: tuple[str, ...] = parse_pass_spec(passes)
+        self.check_after_each_pass = check_after_each_pass
+
+    @property
+    def spec(self) -> str:
+        """The canonical spec string of this pipeline."""
+        return spec_string(self.names)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<PassManager [{self.spec}]>"
+
+    # ------------------------------------------------------------------
+
+    def run_function(self, function, module=None,
+                     analyses: Optional[AnalysisManager] = None) \
+            -> PassReport:
+        """Run the pipeline on one function; returns its report."""
+        if self.check_after_each_pass and module is None:
+            raise ValueError("check_after_each_pass requires module=")
+        report = PassReport(function.name)
+        if self.check_after_each_pass:
+            self._check(module, function, "input", analyses)
+        for name in self.names:
+            start = perf_counter()
+            stats = run_step(name, function, analyses)
+            seconds = perf_counter() - start
+            report.record(name, stats, seconds)
+            if analyses is not None:
+                preserved = PASS_REGISTRY[name].preserved_after(stats)
+                if preserved is not None:
+                    analyses.invalidate(function, preserved=preserved)
+            if self.check_after_each_pass:
+                self._check(module, function, name, analyses)
+        return report
+
+    def run_module(self, module,
+                   analyses: Optional[AnalysisManager] = None) \
+            -> list[PassReport]:
+        """Run the pipeline on every function, serially."""
+        return [self.run_function(function, module, analyses)
+                for function in module.functions.values()]
+
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _check(module, function, pass_name: str,
+               analyses: Optional[AnalysisManager]) -> None:
+        from repro.tsa.verifier import collect_diagnostics
+        errors = [d for d in collect_diagnostics(module, function,
+                                                 analyses=analyses)
+                  if d.severity == Severity.ERROR]
+        if errors:
+            raise PassCheckError(pass_name, function.name, errors)

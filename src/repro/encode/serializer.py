@@ -56,13 +56,17 @@ def _utf8(writer: BitWriter, text: str) -> None:
 
 
 class _ModuleEncoder:
-    def __init__(self, module: Module, size_report: Optional[dict] = None):
+    def __init__(self, module: Module, size_report: Optional[dict] = None,
+                 analyses=None):
         self.module = module
         self.table = module.type_table
         self.world = module.world
         self.writer = BitWriter()
         #: optional dict filled with per-class bit counts
         self.size_report = size_report
+        #: optional :class:`repro.analysis.manager.AnalysisManager`;
+        #: supplies cached dominator trees for the register layout
+        self.analyses = analyses
 
     # ------------------------------------------------------------------
     # symbol section
@@ -146,7 +150,9 @@ class _FunctionEncoder:
         self.world = parent.world
         self.writer = parent.writer
         self.function = function
-        self.layout = FunctionLayout(function)
+        domtree = parent.analyses.get("domtree", function) \
+            if parent.analyses is not None else None
+        self.layout = FunctionLayout(function, domtree=domtree)
         self.size_report = parent.size_report
         #: block id -> enclosing dispatch block (exception context)
         self.dispatch_of: dict[int, Optional[Block]] = {}
@@ -479,11 +485,14 @@ class _FunctionEncoder:
 
 
 def encode_module(module: Module,
-                  size_report: Optional[dict] = None) -> bytes:
+                  size_report: Optional[dict] = None, *,
+                  analyses=None) -> bytes:
     """Externalise ``module`` into SafeTSA wire bytes.
 
     ``size_report``, when given, is filled with per-class bit counts
     (plus ``_header`` for the shared type-table section) so the Figure 5
-    harness can attribute file size to individual classes.
+    harness can attribute file size to individual classes.  ``analyses``
+    optionally shares an :class:`repro.analysis.manager.AnalysisManager`
+    so the per-function register layout reuses cached dominator trees.
     """
-    return _ModuleEncoder(module, size_report).encode()
+    return _ModuleEncoder(module, size_report, analyses=analyses).encode()

@@ -86,16 +86,20 @@ class CseStats:
         return dict(self.__dict__)
 
 
-def run_cse(function: Function, partition_memory: bool = False) -> CseStats:
+def run_cse(function: Function, partition_memory: bool = False,
+            domtree=None) -> CseStats:
     """Eliminate common subexpressions; returns statistics.
 
     ``partition_memory`` enables the field analysis the paper proposes as
     an improvement (Section 8): stores only invalidate loads of the same
-    field / array element type.
+    field / array element type.  ``domtree`` is an optional precomputed
+    dominator tree (the ``domtree`` analysis of
+    :mod:`repro.analysis.manager`); omitted, it is computed here.
     """
     stats = CseStats()
     memdep = MemDep(function, partitioned=partition_memory)
-    domtree = compute_dominators(function)
+    if domtree is None:
+        domtree = compute_dominators(function)
     scopes: list[dict[tuple, Instr]] = [{}]
 
     def lookup(key: tuple) -> Optional[Instr]:

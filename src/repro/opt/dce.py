@@ -26,28 +26,37 @@ def _is_root(instr: Instr) -> bool:
     return False
 
 
-def run_dce(function: Function) -> dict:
-    """Remove dead instructions; returns per-kind removal counts."""
-    live: set[int] = set()
-    worklist: list[Instr] = []
+def run_dce(function: Function, observable: set | None = None) -> dict:
+    """Remove dead instructions; returns per-kind removal counts.
 
-    def mark(instr: Instr) -> None:
-        if instr.id not in live:
-            live.add(instr.id)
-            worklist.append(instr)
-
+    ``observable`` is an optional precomputed observability closure (the
+    ``observable`` analysis of :mod:`repro.analysis.manager`); when
+    omitted the mark phase computes it here.  Sweeping keeps exactly the
+    closure, so a caller-supplied result must be current.
+    """
     reachable = function.reachable_blocks()
     reachable_ids = {block.id for block in reachable}
-    for block in reachable:
-        for instr in block.all_instrs():
-            if _is_root(instr):
-                mark(instr)
-        if block.term is not None and block.term.value is not None:
-            mark(block.term.value)
-    while worklist:
-        instr = worklist.pop()
-        for operand in instr.operands:
-            mark(operand)
+    if observable is not None:
+        live = observable
+    else:
+        live = set()
+        worklist: list[Instr] = []
+
+        def mark(instr: Instr) -> None:
+            if instr.id not in live:
+                live.add(instr.id)
+                worklist.append(instr)
+
+        for block in reachable:
+            for instr in block.all_instrs():
+                if _is_root(instr):
+                    mark(instr)
+            if block.term is not None and block.term.value is not None:
+                mark(block.term.value)
+        while worklist:
+            instr = worklist.pop()
+            for operand in instr.operands:
+                mark(operand)
 
     removed: dict[str, int] = {}
     for block in function.blocks:

@@ -1,4 +1,21 @@
-"""Producer-side optimisation pipeline (paper Section 8).
+"""Producer-side optimisation pipeline (paper Section 8) -- legacy API.
+
+The pipeline itself now lives in :mod:`repro.driver`: passes are
+registered :class:`~repro.driver.passes.Pass` objects with
+requires/preserves metadata, a :class:`~repro.driver.manager.PassManager`
+runs a declarative pipeline spec, and a shared
+:class:`~repro.analysis.manager.AnalysisManager` caches the dataflow
+results passes consume.  This module keeps the historical entry points
+as thin wrappers:
+
+* :func:`optimize_function` / :func:`optimize_module` build a
+  :class:`~repro.driver.manager.PassManager` per call and return the
+  same flat statistics dictionaries they always have;
+* :data:`PASS_FUNCTIONS` is the *same dictionary object* as
+  :data:`repro.driver.passes.STEP_FUNCTIONS`, so monkeypatching a step
+  here (as the invariant-blame tests do) affects every execution path;
+* :data:`ALL_PASSES` and :class:`PassCheckError` re-export the
+  canonical definitions.
 
 Default order: constant propagation, safe-phi promotion, CSE (with check
 elimination over the ``Mem``-threaded memory dependence), dead-code
@@ -6,16 +23,9 @@ elimination, then exception-edge cleanup.  Each pass -- ``cleanup``
 included -- can be toggled for the ablation study (experiment E4), so an
 explicit ``passes=()`` really is a no-op baseline.
 
-Every pass is required to leave the function in a verifiable state:
-check elimination (CSE) and constant folding can delete the trapping
-instruction that justified a subblock's exception edge, so those steps
-repair stale edges themselves before returning.  The separate
-``cleanup`` pass additionally excises handlers whose dispatch block
-became unreachable.
-
+Every pass is required to leave the function in a verifiable state;
 ``check_after_each_pass`` turns that contract into an enforced
-invariant: the function is verified before the first pass and re-verified
-after every pass, and the first violation is attributed -- as a
+invariant, attributing the first violation -- as a
 :class:`PassCheckError` carrying the collected diagnostics -- to the
 pass that introduced it.
 """
@@ -24,98 +34,27 @@ from __future__ import annotations
 
 from typing import Iterable, Optional
 
-from repro.analysis.diagnostics import Diagnostic, Severity
-from repro.opt.cleanup import remove_dead_handlers, \
-    remove_stale_exception_edges
-from repro.opt.constprop import run_constprop
-from repro.opt.cse import run_cse
-from repro.opt.dce import run_dce
-from repro.opt.safephi import run_safe_phi_propagation
-
-ALL_PASSES = ("constprop", "safephi", "cse", "dce", "cleanup")
-
-
-class PassCheckError(Exception):
-    """``check_after_each_pass`` caught a pass breaking the invariants.
-
-    ``pass_name`` is the blamed pass (``"input"`` when the function was
-    already ill-formed before any pass ran); ``diagnostics`` holds every
-    error-severity finding the verifier collected afterwards.
-    """
-
-    def __init__(self, pass_name: str, function_name: str,
-                 diagnostics: list):
-        self.pass_name = pass_name
-        self.function = function_name
-        self.diagnostics = diagnostics
-        self.diagnostic = Diagnostic(
-            "STSA-PASS-001",
-            f"pass '{pass_name}' left {function_name} ill-formed: "
-            f"{diagnostics[0] if diagnostics else 'unknown violation'}",
-            function=function_name)
-        super().__init__(str(self.diagnostic))
-
-
-def _step_constprop(function) -> dict:
-    folded = run_constprop(function)
-    # folding a trapping op (e.g. div by a non-zero constant) removes an
-    # exception point; repair the edges so the IR stays verifiable
-    return {"constprop_folded": folded,
-            "stale_exc_edges": remove_stale_exception_edges(function)}
-
-
-def _step_safephi(function) -> dict:
-    return {"safephi_promoted": run_safe_phi_propagation(function)}
-
-
-def _step_cse(function, partition_memory: bool = False) -> dict:
-    cse_stats = run_cse(function, partition_memory=partition_memory)
-    stats = {f"cse_{k}": v for k, v in cse_stats.as_dict().items()}
-    # check elimination removes trapping instructions; see above
-    stats["stale_exc_edges"] = remove_stale_exception_edges(function)
-    return stats
-
-
-def _step_cse_fields(function) -> dict:
-    return _step_cse(function, partition_memory=True)
-
-
-def _step_dce(function) -> dict:
-    return {"dce_removed": run_dce(function)}
-
-
-def _step_cleanup(function) -> dict:
-    return {"stale_exc_edges": remove_stale_exception_edges(function),
-            "dead_handlers": remove_dead_handlers(function)}
-
+from repro.driver.manager import PassManager
+from repro.driver.passes import (
+    ALL_PASSES,
+    PassCheckError,
+    STEP_FUNCTIONS,
+    _step_cleanup,
+    _step_constprop,
+    _step_cse,
+    _step_cse_fields,
+    _step_dce,
+    _step_safephi,
+)
+from repro.driver.report import merge_stats
 
 #: pass name -> step callable; monkeypatchable so tests can inject a
-#: deliberately invariant-breaking pass and assert blame attribution
-PASS_FUNCTIONS = {
-    "constprop": _step_constprop,
-    "safephi": _step_safephi,
-    "cse": _step_cse,
-    "cse_fields": _step_cse_fields,
-    "dce": _step_dce,
-    "cleanup": _step_cleanup,
-}
+#: deliberately invariant-breaking pass and assert blame attribution.
+#: The same object as ``repro.driver.passes.STEP_FUNCTIONS``.
+PASS_FUNCTIONS = STEP_FUNCTIONS
 
-
-def _merge_stats(stats: dict, update: dict) -> None:
-    for key, value in update.items():
-        if key in stats and isinstance(value, int) \
-                and isinstance(stats[key], int):
-            stats[key] += value
-        else:
-            stats[key] = value
-
-
-def _check_invariants(module, function, pass_name: str) -> None:
-    from repro.tsa.verifier import collect_diagnostics
-    errors = [d for d in collect_diagnostics(module, function)
-              if d.severity == Severity.ERROR]
-    if errors:
-        raise PassCheckError(pass_name, function.name, errors)
+#: legacy alias for the (bool-safe) statistics merge
+_merge_stats = merge_stats
 
 
 def optimize_function(function, passes: Optional[Iterable[str]] = None, *,
@@ -130,33 +69,15 @@ def optimize_function(function, passes: Optional[Iterable[str]] = None, *,
     verified before the first pass and after every pass, raising
     :class:`PassCheckError` blaming the pass that broke it.
     """
-    selected = set(passes) if passes is not None else set(ALL_PASSES)
-    if check_after_each_pass and module is None:
-        raise ValueError("check_after_each_pass requires module=")
-    stats: dict = {"function": function.name}
-    if check_after_each_pass:
-        _check_invariants(module, function, "input")
-    for name in ALL_PASSES:
-        if name == "cse":
-            if "cse_fields" in selected:
-                step = PASS_FUNCTIONS["cse_fields"]
-            elif "cse" in selected:
-                step = PASS_FUNCTIONS["cse"]
-            else:
-                continue
-        elif name in selected:
-            step = PASS_FUNCTIONS[name]
-        else:
-            continue
-        _merge_stats(stats, step(function))
-        if check_after_each_pass:
-            _check_invariants(module, function, name)
-    return stats
+    manager = PassManager(passes,
+                          check_after_each_pass=check_after_each_pass)
+    return manager.run_function(function, module=module).legacy_stats()
 
 
 def optimize_module(module, passes: Optional[Iterable[str]] = None,
                     check_after_each_pass: bool = False) -> list[dict]:
     """Optimise every function of a module; returns per-function stats."""
-    return [optimize_function(function, passes, module=module,
-                              check_after_each_pass=check_after_each_pass)
-            for function in module.functions.values()]
+    manager = PassManager(passes,
+                          check_after_each_pass=check_after_each_pass)
+    return [report.legacy_stats()
+            for report in manager.run_module(module)]

@@ -1,38 +1,67 @@
 """Compilation pipeline: source text to SafeTSA module (and the bytecode
-baseline)."""
+baseline).
+
+These are the historical convenience entry points; the machinery lives
+in :mod:`repro.driver`.  Each call builds a one-shot
+:class:`~repro.driver.session.CompilationSession`, which owns the front
+end, the pass manager, the shared analysis cache, and the compilation
+cache.  Hold a session yourself when compiling the same source more
+than one way (SafeTSA + bytecode baseline share a parse) or when you
+want pass reports and analysis-cache statistics.
+"""
 
 from __future__ import annotations
 
-from time import perf_counter
-
-from repro.frontend.parser import parse_compilation_unit
-from repro.frontend.semantics import analyze
-from repro.ssa.construction import build_function
+from repro.driver.session import (
+    CompilationSession,
+    _intern_type,
+    _intern_used_types,
+)
 from repro.ssa.ir import Module
-from repro.typesys.table import TypeTable
-from repro.typesys.types import ArrayType, Type
-from repro.typesys.world import World
-from repro.uast.builder import UastBuilder
-
 
 #: Producer-pipeline flag defaults; the compilation-cache key covers
 #: exactly these, so cache writers and readers must agree on them.
+#: ``optimize``/``passes`` jointly resolve to a canonical pipeline-spec
+#: string (see :func:`repro.driver.passes.effective_passes`), which is
+#: what the key actually hashes.
 PIPELINE_FLAG_DEFAULTS = {
-    "optimize": False, "prune_phis": True, "eager_phis": True}
+    "optimize": False, "passes": None,
+    "prune_phis": True, "eager_phis": True}
 
 
 def pipeline_cache_key(cache, source: str, **flags) -> str:
-    """The cache key :func:`compile_to_module` uses for this compile."""
+    """The cache key :func:`compile_to_module` uses for this compile.
+
+    Unknown flag names raise ``TypeError``: a misspelled flag
+    (``optimise=True``) would otherwise silently hash into a key no
+    compile ever writes, turning every lookup into a miss.
+    """
+    unknown = sorted(set(flags) - set(PIPELINE_FLAG_DEFAULTS))
+    if unknown:
+        raise TypeError(
+            f"unknown pipeline flag(s): {', '.join(unknown)}; "
+            f"known: {', '.join(sorted(PIPELINE_FLAG_DEFAULTS))}")
+    from repro.driver.passes import effective_passes, spec_string
     merged = dict(PIPELINE_FLAG_DEFAULTS)
     merged.update(flags)
-    return cache.key(source, **merged)
+    spec = spec_string(effective_passes(merged["optimize"],
+                                        merged["passes"]))
+    return cache.key(source, passes=spec,
+                     prune_phis=merged["prune_phis"],
+                     eager_phis=merged["eager_phis"])
 
 
 def compile_to_module(source: str, *, optimize: bool = False,
-                      prune_phis: bool = True, eager_phis: bool = True,
+                      passes=None, prune_phis: bool = True,
+                      eager_phis: bool = True,
                       filename: str = "<source>",
-                      cache=None, stage_seconds=None) -> Module:
+                      cache=None, stage_seconds=None,
+                      jobs=None) -> Module:
     """Full producer pipeline: parse, check, lower, build SSA, optimise.
+
+    ``passes`` is an optional pipeline spec (a comma-separated string or
+    an iterable of pass names, see :func:`repro.driver.passes.
+    parse_pass_spec`) and overrides ``optimize`` when given.
 
     ``cache`` is an optional :class:`repro.cache.CompilationCache` (pass
     ``False`` to force a cold compile even when a process-wide default
@@ -43,99 +72,23 @@ def compile_to_module(source: str, *, optimize: bool = False,
     ``stage_seconds`` is an optional mutable mapping; wall-clock seconds
     for the ``parse``, ``ssa`` and ``opt`` stages (and ``decode`` on a
     cache hit) are accumulated into it.
+
+    ``jobs`` fans per-function optimisation out across a thread pool
+    (None/1 serial, 0 one worker per CPU); the result is
+    instruction-identical to a serial compile.
     """
-    if cache is None:
-        from repro.cache import default_cache
-        cache = default_cache()
-    key = None
-    if cache:
-        key = pipeline_cache_key(cache, source, optimize=optimize,
-                                 prune_phis=prune_phis,
-                                 eager_phis=eager_phis)
-        wire = cache.get(key)
-        if wire is not None:
-            from repro.encode.deserializer import decode_module
-            start = perf_counter()
-            module = decode_module(wire)
-            _credit(stage_seconds, "decode", start)
-            return module
-    module = _compile_uncached(source, optimize=optimize,
-                               prune_phis=prune_phis,
-                               eager_phis=eager_phis, filename=filename,
-                               stage_seconds=stage_seconds)
-    if cache:
-        from repro.encode.serializer import encode_module
-        cache.put(key, encode_module(module))
-    return module
-
-
-def _credit(stage_seconds, stage: str, start: float) -> float:
-    now = perf_counter()
+    session = CompilationSession(
+        optimize=optimize, passes=passes, prune_phis=prune_phis,
+        eager_phis=eager_phis, filename=filename, cache=cache,
+        jobs=jobs)
+    module = session.compile(source)
     if stage_seconds is not None:
-        stage_seconds[stage] = stage_seconds.get(stage, 0.0) + (now - start)
-    return now
-
-
-def _compile_uncached(source: str, *, optimize: bool, prune_phis: bool,
-                      eager_phis: bool, filename: str,
-                      stage_seconds=None) -> Module:
-    start = perf_counter()
-    unit = parse_compilation_unit(source, filename)
-    start = _credit(stage_seconds, "parse", start)
-    world = analyze(unit)
-    table = TypeTable(world)
-    module = Module(world, table)
-    uast_builder = UastBuilder(world)
-    for decl in unit.classes:
-        module.classes.append(decl.info)
-        table.declare_class(decl.info)
-        for umethod in uast_builder.build_class(decl):
-            function = build_function(world, decl.info, umethod,
-                                      eager_phis=eager_phis)
-            module.add_function(function)
-    _intern_used_types(module)
-    if prune_phis:
-        from repro.ssa.phi_pruning import prune_dead_phis
-        for function in module.functions.values():
-            prune_dead_phis(function)
-    start = _credit(stage_seconds, "ssa", start)
-    if optimize:
-        from repro.opt.pipeline import optimize_module
-        optimize_module(module)
-        _credit(stage_seconds, "opt", start)
+        for stage, seconds in session.stage_seconds.items():
+            stage_seconds[stage] = stage_seconds.get(stage, 0.0) + seconds
     return module
-
-
-def _intern_used_types(module: Module) -> None:
-    """Make sure every type referenced by an instruction is in the table."""
-    table = module.type_table
-    for function in module.functions.values():
-        for block in function.blocks:
-            for instr in block.all_instrs():
-                plane = instr.plane
-                if plane is not None and plane.kind != "safeidx":
-                    _intern_type(table, plane.type)
-                for attr in ("target_type", "ref_type", "array_type",
-                             "plane_type"):
-                    value = getattr(instr, attr, None)
-                    if isinstance(value, Type):
-                        _intern_type(table, value)
-
-
-def _intern_type(table: TypeTable, type: Type) -> None:
-    if type not in table:
-        table.intern(type)
-    if isinstance(type, ArrayType):
-        _intern_type(table, type.element)
 
 
 def compile_to_classfiles(source: str, *, filename: str = "<source>"):
     """Baseline pipeline: parse, check, lower, emit stack bytecode."""
-    from repro.jvm.codegen import compile_unit
-    unit = parse_compilation_unit(source, filename)
-    world = analyze(unit)
-    uast_builder = UastBuilder(world)
-    per_class = {}
-    for decl in unit.classes:
-        per_class[decl.info] = uast_builder.build_class(decl)
-    return compile_unit(world, per_class)
+    session = CompilationSession(filename=filename, cache=False)
+    return session.compile_to_classfiles(source)

@@ -95,7 +95,10 @@ class VerifyError(Exception):
 
 class _FunctionVerifier:
     def __init__(self, module: Module, function: Function,
-                 collect: bool = False):
+                 collect: bool = False, analyses=None):
+        #: optional :class:`repro.analysis.manager.AnalysisManager`;
+        #: supplies (and caches) the dominator tree when present
+        self.analyses = analyses
         self.module = module
         self.world = module.world
         self.table = module.type_table
@@ -143,7 +146,12 @@ class _FunctionVerifier:
                     function=function.name))
                 return  # nothing below is meaningful without a CFG
             self.fail(f"bad control structure: {error}", "STSA-CFG-001")
-        self.domtree = compute_dominators(function)
+        # derive_cfg above rewired edges on the *same* Block objects, so
+        # a cached dominator tree for an unchanged function stays valid
+        if self.analyses is not None:
+            self.domtree = self.analyses.get("domtree", function)
+        else:
+            self.domtree = compute_dominators(function)
         self.dispatch_of = map_exception_contexts(function.cst)
         self.linear: dict[int, tuple[Block, int]] = {}
         for block in function.blocks:
@@ -489,31 +497,39 @@ class _FunctionVerifier:
             self._require_plane(instr, offset + i, Plane.of_type(param))
 
 
-def verify_function(module: Module, function: Function) -> None:
-    """Raise :class:`VerifyError` if ``function`` is ill-formed."""
-    _FunctionVerifier(module, function).verify()
+def verify_function(module: Module, function: Function, *,
+                    analyses=None) -> None:
+    """Raise :class:`VerifyError` if ``function`` is ill-formed.
+
+    ``analyses`` is an optional :class:`repro.analysis.manager.
+    AnalysisManager` -- when given, the dominator tree is fetched from
+    (and cached in) it instead of being recomputed.
+    """
+    _FunctionVerifier(module, function, analyses=analyses).verify()
 
 
-def verify_module(module: Module) -> None:
+def verify_module(module: Module, *, analyses=None) -> None:
     """Verify every function of a module."""
     for function in module.functions.values():
-        verify_function(module, function)
+        verify_function(module, function, analyses=analyses)
 
 
 def collect_diagnostics(module: Module,
-                        function: Optional[Function] = None) \
-        -> list[Diagnostic]:
+                        function: Optional[Function] = None, *,
+                        analyses=None) -> list[Diagnostic]:
     """Collect *all* verifier diagnostics instead of failing fast.
 
     Returns every well-formedness error plus warning-severity findings
     (unreachable blocks) for ``function``, or for every function of
-    ``module`` when ``function`` is None.
+    ``module`` when ``function`` is None.  ``analyses`` optionally
+    shares cached dominator trees, as in :func:`verify_function`.
     """
     functions = [function] if function is not None \
         else list(module.functions.values())
     diagnostics: list[Diagnostic] = []
     for target in functions:
-        verifier = _FunctionVerifier(module, target, collect=True)
+        verifier = _FunctionVerifier(module, target, collect=True,
+                                     analyses=analyses)
         verifier.verify()
         diagnostics.extend(verifier.diagnostics)
     return diagnostics

@@ -1,0 +1,334 @@
+"""The unified compile path: CompilationSession, PassManager,
+AnalysisManager, pipeline-spec grammar, cache-key coverage, and the
+parallel-vs-serial determinism guarantee."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.analysis.manager import AnalysisManager
+from repro.bench.corpus import CORPUS_PROGRAMS, corpus_source
+from repro.cache import CompilationCache
+from repro.driver import (
+    ALL_PASSES,
+    CANONICAL_SPEC,
+    CompilationSession,
+    PASS_REGISTRY,
+    PassManager,
+    PassReport,
+    merge_stats,
+    parse_pass_spec,
+    spec_string,
+)
+from repro.driver.passes import effective_passes
+from repro.pipeline import (
+    PIPELINE_FLAG_DEFAULTS,
+    compile_to_module,
+    pipeline_cache_key,
+)
+from test_properties import program
+
+SOURCE = """
+class Main {
+  static int f(int n) {
+    int total = 0;
+    int i = 0;
+    while (i < n) { total = total + i * 2 + 3 * 4; i = i + 1; }
+    return total;
+  }
+  static void main() { System.out.println(f(10)); }
+}
+"""
+
+
+class TestPassSpecGrammar:
+    def test_none_selects_canonical_pipeline(self):
+        assert parse_pass_spec(None) == ALL_PASSES
+
+    def test_string_spec_round_trips(self):
+        assert parse_pass_spec(CANONICAL_SPEC) == ALL_PASSES
+        assert spec_string(parse_pass_spec(CANONICAL_SPEC)) \
+            == CANONICAL_SPEC
+
+    def test_empty_string_is_explicit_noop(self):
+        assert parse_pass_spec("") == ()
+        assert parse_pass_spec(()) == ()
+
+    def test_whitespace_and_order_normalize(self):
+        assert parse_pass_spec(" dce , constprop ") \
+            == ("constprop", "dce")
+        assert parse_pass_spec(["cleanup", "constprop"]) \
+            == ("constprop", "cleanup")
+
+    def test_cse_fields_wins_its_slot(self):
+        assert parse_pass_spec("cse,cse_fields") == ("cse_fields",)
+        assert parse_pass_spec("cse_fields,cse") == ("cse_fields",)
+        assert parse_pass_spec("cse") == ("cse",)
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(ValueError, match="unknown pass"):
+            parse_pass_spec("constprop,typo")
+
+    def test_effective_passes(self):
+        assert effective_passes(False, None) == ()
+        assert effective_passes(True, None) == ALL_PASSES
+        # an explicit spec always wins over the optimize flag
+        assert effective_passes(True, "dce") == ("dce",)
+        assert effective_passes(True, "") == ()
+
+    def test_registry_metadata(self):
+        assert set(PASS_REGISTRY) \
+            == {"constprop", "safephi", "cse", "cse_fields", "dce",
+                "cleanup"}
+        assert "domtree" in PASS_REGISTRY["cse"].requires
+        assert "observable" in PASS_REGISTRY["dce"].preserves
+
+
+class TestMergeStats:
+    def test_int_counters_accumulate(self):
+        stats = {"eliminated": 2}
+        merge_stats(stats, {"eliminated": 3})
+        assert stats["eliminated"] == 5
+
+    def test_bools_overwrite_not_accumulate(self):
+        # regression: isinstance(True, int) is true, so the old merge
+        # summed two `flag: True` reports into the counter 2
+        stats = {"flag": True}
+        merge_stats(stats, {"flag": True})
+        assert stats["flag"] is True
+        merge_stats(stats, {"flag": False})
+        assert stats["flag"] is False
+
+    def test_bool_never_sums_into_int(self):
+        stats = {"count": 2}
+        merge_stats(stats, {"count": True})
+        assert stats["count"] is True
+
+    def test_pass_report_merge_preserves_bools(self):
+        report = PassReport("f")
+        report.record("a", {"flag": True, "n": 1}, 0.0)
+        report.record("b", {"flag": True, "n": 2}, 0.0)
+        assert report.stats == {"flag": True, "n": 3}
+
+    def test_report_equality_ignores_seconds(self):
+        fast, slow = PassReport("f"), PassReport("f")
+        fast.record("dce", {"removed": 1}, 0.001)
+        slow.record("dce", {"removed": 1}, 9.999)
+        assert fast == slow
+        other = PassReport("f")
+        other.record("dce", {"removed": 2}, 0.001)
+        assert fast != other
+
+
+class TestCacheKeyCoverage:
+    def test_unknown_flag_raises_type_error(self):
+        # regression: a misspelled flag used to mint a key that never
+        # hits, silently disabling the cache for that caller
+        cache = CompilationCache()
+        with pytest.raises(TypeError, match="optimise"):
+            pipeline_cache_key(cache, SOURCE, optimise=True)
+
+    def test_known_flags_accepted(self):
+        cache = CompilationCache()
+        for flag, default in PIPELINE_FLAG_DEFAULTS.items():
+            assert pipeline_cache_key(cache, SOURCE, **{flag: default}) \
+                == pipeline_cache_key(cache, SOURCE)
+
+    def test_distinct_pass_specs_distinct_keys(self):
+        cache = CompilationCache()
+        keys = {
+            pipeline_cache_key(cache, SOURCE),
+            pipeline_cache_key(cache, SOURCE, optimize=True),
+            pipeline_cache_key(cache, SOURCE, passes="constprop"),
+            pipeline_cache_key(cache, SOURCE, passes="constprop,dce"),
+            pipeline_cache_key(cache, SOURCE, passes="cse_fields"),
+        }
+        assert len(keys) == 5
+
+    def test_spec_aliases_share_a_key(self):
+        cache = CompilationCache()
+        # optimize=True IS the canonical spec; order does not matter
+        assert pipeline_cache_key(cache, SOURCE, optimize=True) \
+            == pipeline_cache_key(cache, SOURCE, passes=CANONICAL_SPEC)
+        assert pipeline_cache_key(cache, SOURCE, passes="dce,constprop") \
+            == pipeline_cache_key(cache, SOURCE, passes="constprop,dce")
+        # explicit no-op pipeline == the unoptimized default
+        assert pipeline_cache_key(cache, SOURCE, passes="") \
+            == pipeline_cache_key(cache, SOURCE)
+
+    def test_unoptimized_entry_never_served_for_optimized_compile(self):
+        cache = CompilationCache()
+        plain = compile_to_module(SOURCE, cache=cache)
+        optimized = compile_to_module(SOURCE, optimize=True, cache=cache)
+        assert optimized.instruction_count() \
+            < plain.instruction_count()
+        # both forms landed under their own keys; a rerun hits each
+        assert cache.misses == 2
+        rerun = compile_to_module(SOURCE, optimize=True, cache=cache)
+        assert cache.hits == 1
+        assert rerun.instruction_count() == optimized.instruction_count()
+
+
+class TestAnalysisManager:
+    def _function(self, optimize=False):
+        module = compile_to_module(SOURCE, optimize=optimize, cache=False)
+        return module, next(iter(module.functions.values()))
+
+    def test_results_are_cached(self):
+        _, function = self._function()
+        analyses = AnalysisManager()
+        first = analyses.get("domtree", function)
+        second = analyses.get("domtree", function)
+        assert first is second
+        assert analyses.computed == 1 and analyses.hits == 1
+        assert analyses.consumers_per_computed == 2.0
+
+    def test_unknown_analysis_raises(self):
+        _, function = self._function()
+        with pytest.raises(KeyError, match="unknown analysis"):
+            AnalysisManager().get("typo", function)
+
+    def test_invalidate_respects_preserved(self):
+        _, function = self._function()
+        analyses = AnalysisManager()
+        domtree = analyses.get("domtree", function)
+        analyses.get("observable", function)
+        analyses.invalidate(function, preserved=frozenset({"domtree"}))
+        assert analyses.cached("domtree", function) is domtree
+        assert analyses.cached("observable", function) is None
+        assert analyses.invalidations == 1
+
+    def test_zero_change_pass_preserves_everything(self):
+        # a pass whose stats are all falsy reports "nothing happened"
+        assert PASS_REGISTRY["cleanup"].preserved_after(
+            {"stale_exc_edges": 0, "dead_handlers": 0}) is None
+
+    def test_cfg_change_drops_domtree(self):
+        preserved = PASS_REGISTRY["cse"].preserved_after(
+            {"cse_eliminated": 1, "stale_exc_edges": 2})
+        assert preserved is not None and "domtree" not in preserved
+
+    def test_pass_manager_reuses_analyses_across_consumers(self):
+        module, _ = self._function()
+        analyses = AnalysisManager()
+        PassManager().run_module(module, analyses=analyses)
+        from repro.tsa.verifier import verify_module
+        verify_module(module, analyses=analyses)
+        from repro.encode.serializer import encode_module
+        encode_module(module, analyses=analyses)
+        assert analyses.hits > 0
+        assert analyses.consumers_per_computed >= 2.0
+
+
+class TestCompilationSession:
+    def test_frontend_shared_between_module_and_classfiles(self):
+        session = CompilationSession(optimize=True, cache=False)
+        module = session.build_module(SOURCE)
+        classfiles = session.compile_to_classfiles(SOURCE)
+        assert len(session._frontend_memo) == 1
+        assert module.functions and classfiles
+        # the two pipelines agree on what was compiled
+        assert {cls.info.name for cls in classfiles} \
+            == {info.name for info in module.classes}
+
+    def test_session_matches_legacy_wrapper(self):
+        from repro.encode.serializer import encode_module
+        legacy = compile_to_module(SOURCE, optimize=True, cache=False)
+        session = CompilationSession(optimize=True, cache=False)
+        module = session.compile(SOURCE)
+        assert encode_module(module) == encode_module(legacy)
+
+    def test_stage_seconds_and_reports(self):
+        session = CompilationSession(optimize=True, cache=False)
+        session.compile(SOURCE)
+        assert set(session.stage_seconds) == {"parse", "ssa", "opt"}
+        report = session.pass_report()
+        assert report["spec"] == CANONICAL_SPEC
+        assert set(report["pass_seconds"]) == set(ALL_PASSES)
+        assert report["functions"] == len(session.reports) > 0
+
+    def test_compile_cache_covers_pass_spec(self):
+        cache = CompilationCache()
+        noop = CompilationSession(passes="", cache=cache)
+        noop.compile(SOURCE)
+        optimized = CompilationSession(optimize=True, cache=cache)
+        module = optimized.compile(SOURCE)
+        # the cached no-op module must not be served for -O
+        assert cache.hits == 0 and cache.misses == 2
+        full = compile_to_module(SOURCE, optimize=True, cache=False)
+        assert module.instruction_count() == full.instruction_count()
+
+
+def _session_artifacts(source, jobs):
+    """(encoded bytes, deterministic report dicts) for one compile."""
+    session = CompilationSession(optimize=True, cache=False, jobs=jobs)
+    module = session.build_module(source)
+    session.optimize(module)
+    wire = session.encode(module)
+    return wire, [r.as_dict(seconds=False) for r in session.reports]
+
+
+class TestParallelDeterminism:
+    @pytest.mark.parametrize("name", CORPUS_PROGRAMS)
+    def test_corpus_parallel_equals_serial(self, name):
+        source = corpus_source(name)
+        serial_wire, serial_reports = _session_artifacts(source, jobs=1)
+        parallel_wire, parallel_reports = _session_artifacts(source,
+                                                             jobs=4)
+        assert parallel_wire == serial_wire
+        assert parallel_reports == serial_reports
+
+    @pytest.mark.parametrize("name", CORPUS_PROGRAMS)
+    def test_corpus_plain_form_stable_too(self, name):
+        # the transmitted unoptimized form has no passes to fan out,
+        # but must still be byte-stable across session configurations
+        source = corpus_source(name)
+        serial = CompilationSession(prune_phis=False, cache=False,
+                                    jobs=1)
+        parallel = CompilationSession(prune_phis=False, cache=False,
+                                      jobs=4)
+        assert serial.encode(serial.compile(source)) \
+            == parallel.encode(parallel.compile(source))
+
+    @settings(max_examples=15, deadline=None)
+    @given(source=program())
+    def test_random_programs_parallel_equals_serial(self, source):
+        serial_wire, serial_reports = _session_artifacts(source, jobs=1)
+        parallel_wire, parallel_reports = _session_artifacts(source,
+                                                             jobs=3)
+        assert parallel_wire == serial_wire
+        assert parallel_reports == serial_reports
+
+
+class TestLegacyWrappers:
+    def test_optimize_function_flat_stats_shape(self):
+        from repro.opt.pipeline import optimize_function
+        module = compile_to_module(SOURCE, cache=False)
+        function = next(iter(module.functions.values()))
+        stats = optimize_function(function)
+        assert stats["function"] == function.name
+        assert "constprop_folded" in stats
+
+    def test_pass_functions_alias_driver_steps(self):
+        from repro.driver.passes import STEP_FUNCTIONS
+        from repro.opt import pipeline as opt_pipeline
+        assert opt_pipeline.PASS_FUNCTIONS is STEP_FUNCTIONS
+
+    def test_monkeypatched_step_called_without_analyses(self, monkeypatch):
+        # the historical sabotage contract: a patched step that only
+        # accepts (function,) must keep working under the new manager
+        from repro.opt import pipeline as opt_pipeline
+        calls = []
+
+        def patched(function):
+            calls.append(function.name)
+            return {"patched": 1}
+
+        monkeypatch.setitem(opt_pipeline.PASS_FUNCTIONS, "dce", patched)
+        session = CompilationSession(optimize=True, cache=False)
+        module = session.build_module(SOURCE)
+        session.optimize(module)
+        assert len(calls) == len(module.functions)
+        merged = {}
+        for report in session.reports:
+            merged.update(report.stats)
+        assert merged.get("patched") == 1
