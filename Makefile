@@ -5,8 +5,8 @@ PYTHON ?= python3
 # Targets work from a bare checkout too (no editable install needed).
 export PYTHONPATH := src:$(PYTHONPATH)
 
-.PHONY: test bench bench-smoke bench-analysis bench-pipeline lint-corpus \
-	tables examples all clean
+.PHONY: test bench bench-smoke bench-analysis bench-pipeline fuzz-smoke \
+	lint-corpus tables examples all clean
 
 test:
 	$(PYTHON) -m pytest tests/ -q
@@ -27,6 +27,12 @@ bench-analysis:
 # the parallel fan-out determinism check; writes BENCH_pipeline.json.
 bench-pipeline:
 	$(PYTHON) -m repro.bench.runner pipeline --smoke
+
+# Deterministic fuzzing smoke: differential oracle over generated
+# programs + wire-stream mutation under a fixed seed (~30 s); writes
+# BENCH_fuzz.json and fails on any reject-or-equivalent violation.
+fuzz-smoke:
+	$(PYTHON) -m repro.bench.runner fuzz --smoke
 
 # Lint every corpus program with the structured-diagnostics driver;
 # a non-zero exit (any error-severity diagnostic) fails the build.

@@ -11,6 +11,7 @@ Usage::
     python -m repro.bench.runner codec [--smoke] [--output PATH]
     python -m repro.bench.runner analysis [--smoke] [--output PATH]
     python -m repro.bench.runner pipeline [--smoke] [--output PATH]
+    python -m repro.bench.runner fuzz [--smoke] [--output PATH]
     python -m repro.bench.runner all
 
 ``codec`` times the wire codec and the compilation cache and writes the
@@ -18,8 +19,10 @@ numbers to ``BENCH_codec.json``; ``analysis`` times verification and
 the lint driver per corpus artifact and writes ``BENCH_analysis.json``;
 ``pipeline`` measures the pass pipeline (analysis-cache reuse, per-pass
 seconds, parallel fan-out determinism) and writes
-``BENCH_pipeline.json``; ``--smoke`` runs a three-program subset with
-fewer repeats (the CI configuration).
+``BENCH_pipeline.json``; ``fuzz`` runs a deterministic differential +
+wire-mutation campaign and writes throughput plus the rejection
+taxonomy to ``BENCH_fuzz.json`` (and exits nonzero on any finding);
+``--smoke`` runs a reduced configuration (the CI setting).
 
 Timed sections run best-of-N with a warmup pass (``REPRO_BENCH_REPEATS``
 overrides N, default 3): the minimum over repeats is the standard
@@ -368,6 +371,28 @@ def run_analysis(argv=()) -> str:
     ])
 
 
+def run_fuzz(argv=()) -> str:
+    from repro.bench.fuzz import fuzz_report
+    smoke = "--smoke" in argv
+    output = "BENCH_fuzz.json"
+    argv = [arg for arg in argv if arg != "--smoke"]
+    if "--output" in argv:
+        output = argv[argv.index("--output") + 1]
+    # smoke: ~150 oracle programs + 1500 stream mutants (~30 s);
+    # full: ~1000 programs + 10000 mutants
+    budget = 1500 if smoke else 10_000
+    report, result = fuzz_report(seed=0, budget=budget, mode="all")
+    with open(output, "w") as handle:
+        json.dump(report, handle, indent=2)
+        handle.write("\n")
+    header = (f"fuzz benchmark ({'smoke, ' if smoke else ''}"
+              f"seed=0 budget={budget}) -> {output}")
+    text = header + "\n\n" + result.summary()
+    if not result.ok:
+        raise SystemExit(text + "\nFUZZ FINDINGS -- see report")
+    return text
+
+
 COMMANDS = {
     "figure5": run_figure5,
     "figure6": run_figure6,
@@ -382,7 +407,7 @@ def main(argv=None) -> int:
     argv = argv if argv is not None else sys.argv[1:]
     if not argv or argv[0] not in list(COMMANDS) + ["all", "codec",
                                                     "analysis",
-                                                    "pipeline"]:
+                                                    "pipeline", "fuzz"]:
         print(__doc__)
         return 2
     if argv[0] == "codec":
@@ -391,6 +416,8 @@ def main(argv=None) -> int:
         print(run_analysis(argv[1:]))
     elif argv[0] == "pipeline":
         print(run_pipeline(argv[1:]))
+    elif argv[0] == "fuzz":
+        print(run_fuzz(argv[1:]))
     elif argv[0] == "all":
         for name, command in COMMANDS.items():
             print(command())

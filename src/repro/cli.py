@@ -10,7 +10,9 @@ Subcommands::
     repro-cc lint    FILE.java|FILE.stsa [--json] [--optimize]
     repro-cc stats   FILE.java
     repro-cc bench   figure5|figure6|pruning|ablation|verifycost|codec|
-                     analysis|pipeline|all
+                     analysis|pipeline|fuzz|all
+    repro-cc fuzz    [--seed S] [--budget N] [--mode programs|streams|all]
+                     [--fixtures DIR] [--json PATH] [--no-minimize] [-q]
 """
 
 from __future__ import annotations
@@ -25,7 +27,7 @@ def _load_module(path: str, optimize: bool, prune: bool = True,
     from repro.encode.deserializer import decode_module
     from repro.pipeline import compile_to_module
     data = Path(path).read_bytes()
-    if path.endswith(".stsa"):
+    if path.endswith((".stsa", ".bin")):
         return decode_module(data)
     return compile_to_module(data.decode("utf-8"), optimize=optimize,
                              prune_phis=prune, filename=path,
@@ -151,6 +153,25 @@ def cmd_bench(args) -> int:
     return bench_main([args.table])
 
 
+def cmd_fuzz(args) -> int:
+    import json
+
+    from repro.fuzz import run_campaign
+    progress = None if args.quiet else \
+        (lambda message: print(f"  .. {message}", flush=True))
+    result = run_campaign(
+        seed=args.seed, budget=args.budget, mode=args.mode,
+        minimize=not args.no_minimize, fixtures_dir=args.fixtures,
+        on_progress=progress)
+    print(result.summary())
+    if args.json:
+        with open(args.json, "w") as handle:
+            json.dump(result.report(), handle, indent=2)
+            handle.write("\n")
+        print(f"report -> {args.json}")
+    return 0 if result.ok else 1
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro-cc",
@@ -211,8 +232,29 @@ def main(argv=None) -> int:
     p.add_argument("table", choices=["figure5", "figure6", "pruning",
                                      "ablation", "verifycost",
                                      "jitspeed", "codec", "analysis",
-                                     "pipeline", "all"])
+                                     "pipeline", "fuzz", "all"])
     p.set_defaults(fn=cmd_bench)
+
+    p = sub.add_parser(
+        "fuzz", help="differential + wire-mutation fuzzing campaign")
+    p.add_argument("--seed", type=int, default=0,
+                   help="campaign seed (same seed => same campaign)")
+    p.add_argument("--budget", type=int, default=1000,
+                   help="iterations: programs generated / mutants tried")
+    p.add_argument("--mode", default="all",
+                   choices=["programs", "streams", "all"],
+                   help="differential oracle over generated programs, "
+                        "wire-stream mutation, or both")
+    p.add_argument("--fixtures", default=None, metavar="DIR",
+                   help="persist shrunken findings as regression "
+                        "fixtures under DIR")
+    p.add_argument("--json", default=None, metavar="PATH",
+                   help="also write the machine-readable report")
+    p.add_argument("--no-minimize", action="store_true",
+                   help="skip delta-debugging shrinks of findings")
+    p.add_argument("-q", "--quiet", action="store_true",
+                   help="suppress progress lines")
+    p.set_defaults(fn=cmd_fuzz)
 
     args = parser.parse_args(argv)
     return args.fn(args)

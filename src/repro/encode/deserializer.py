@@ -71,13 +71,29 @@ from repro.typesys.world import ClassInfo, FieldInfo, MethodInfo, World
 
 
 class DecodeError(Exception):
-    """The byte stream does not encode a well-formed SafeTSA module."""
+    """The byte stream does not encode a well-formed SafeTSA module.
+
+    Carries a stable ``code`` naming the rejection category --
+    ``DEC-IO`` (ran off the stream / symbol out of its bounded
+    alphabet), ``DEC-MAGIC``, ``DEC-LIMIT`` (a declared count exceeds
+    its sanity bound), ``DEC-CST`` (bad control structure),
+    ``DEC-EXC`` (exception discipline), ``DEC-REF`` / ``DEC-TRAP-REF``
+    (value references), ``DEC-TRAILING``, ``DEC-WORLD`` /
+    ``DEC-TABLE`` / ``DEC-VALUE`` (wrapped lower-layer validation), and
+    ``DEC-MALFORMED`` for the remaining shape rules.  The fuzzing
+    rejection taxonomy and the attack-fixture manifest key on these
+    codes, so they must stay stable.
+    """
+
+    def __init__(self, message: str, code: str = "DEC-MALFORMED"):
+        self.code = code
+        super().__init__(f"{message} [{code}]")
 
 
 def _read_utf8(reader: BitReader) -> str:
     length = reader.read_gamma()
     if length > 1 << 20:
-        raise DecodeError("unreasonable string length")
+        raise DecodeError("unreasonable string length", "DEC-LIMIT")
     try:
         return reader.read_bytes(length).decode("utf-8")
     except UnicodeDecodeError as error:
@@ -94,10 +110,10 @@ class _ModuleDecoder:
     def decode(self) -> Module:
         reader = self.reader
         if reader.read_bytes(len(MAGIC)) != MAGIC:
-            raise DecodeError("bad magic")
+            raise DecodeError("bad magic", "DEC-MAGIC")
         declared_count = reader.read_gamma()
         if declared_count > 1 << 16:
-            raise DecodeError("unreasonable type table size")
+            raise DecodeError("unreasonable type table size", "DEC-LIMIT")
         class_infos: list[ClassInfo] = []
         for _ in range(declared_count):
             if reader.read_flag():  # array entry
@@ -146,9 +162,10 @@ class _ModuleDecoder:
         reader = self.reader
         remaining = reader.bits_remaining()
         if remaining >= 8:
-            raise DecodeError(f"{remaining} trailing bits after the module")
+            raise DecodeError(f"{remaining} trailing bits after the "
+                              "module", "DEC-TRAILING")
         if not reader.at_end():
-            raise DecodeError("nonzero padding bits")
+            raise DecodeError("nonzero padding bits", "DEC-TRAILING")
 
     def _check_hierarchy(self, class_infos: list[ClassInfo]) -> None:
         for info in class_infos:
@@ -169,7 +186,7 @@ class _ModuleDecoder:
         bodies: list[MethodInfo] = []
         field_count = reader.read_gamma()
         if field_count > 1 << 14:
-            raise DecodeError("unreasonable field count")
+            raise DecodeError("unreasonable field count", "DEC-LIMIT")
         for _ in range(field_count):
             name = _read_utf8(reader)
             is_static = reader.read_flag()
@@ -180,14 +197,15 @@ class _ModuleDecoder:
             info.add_field(FieldInfo(name, field_type, is_static, is_final))
         method_count = reader.read_gamma()
         if method_count > 1 << 14:
-            raise DecodeError("unreasonable method count")
+            raise DecodeError("unreasonable method count", "DEC-LIMIT")
         for _ in range(method_count):
             name = _read_utf8(reader)
             is_static = reader.read_flag()
             is_abstract = reader.read_flag()
             param_count = reader.read_gamma()
             if param_count > 255:
-                raise DecodeError("unreasonable parameter count")
+                raise DecodeError("unreasonable parameter count",
+                                  "DEC-LIMIT")
             params = [self.table.type_at(reader.read_bounded(table_size))
                       for _ in range(param_count)]
             if any(p is VOID for p in params):
@@ -222,18 +240,20 @@ class _FunctionDecoder:
             cst = self._decode_region(break_depth=0, loop_depth=0,
                                       in_try=False)
         except RecursionError:
-            raise DecodeError("control structure nests too deeply") from None
+            raise DecodeError("control structure nests too deeply",
+                              "DEC-CST") from None
         self.function.cst = cst
         if not self.function.blocks:
-            raise DecodeError("method body has no blocks")
+            raise DecodeError("method body has no blocks", "DEC-CST")
         self.function.entry = self.function.blocks[0]
         try:
             derive_cfg(self.function)
         except CstError as error:
-            raise DecodeError(f"bad control structure: {error}") from None
+            raise DecodeError(f"bad control structure: {error}",
+                              "DEC-CST") from None
         self.domtree = compute_dominators(self.function)
         if self.function.entry.preds:
-            raise DecodeError("entry block has predecessors")
+            raise DecodeError("entry block has predecessors", "DEC-CST")
         self.dispatch_of = map_exception_contexts(cst)
         for block in self.domtree.preorder:
             self._decode_block(block)
@@ -253,11 +273,12 @@ class _FunctionDecoder:
             depth = 0
             if kind == "break":
                 if break_depth == 0:
-                    raise DecodeError("break outside a breakable region")
+                    raise DecodeError("break outside a breakable region",
+                                      "DEC-CST")
                 depth = reader.read_bounded(break_depth)
             elif kind == "continue":
                 if loop_depth == 0:
-                    raise DecodeError("continue outside a loop")
+                    raise DecodeError("continue outside a loop", "DEC-CST")
                 depth = reader.read_bounded(loop_depth)
             block.term = Term(kind, None, depth)
             exc = reader.read_flag() if in_try else False
@@ -265,7 +286,8 @@ class _FunctionDecoder:
         if symbol == "seq":
             count = self.reader.read_gamma()
             if count > 1 << 16:
-                raise DecodeError("unreasonable sequence length")
+                raise DecodeError("unreasonable sequence length",
+                                  "DEC-LIMIT")
             return RSeq([self._decode_region(break_depth, loop_depth, in_try)
                          for _ in range(count)])
         if symbol in ("if", "ifelse"):
@@ -302,9 +324,9 @@ class _FunctionDecoder:
             try:
                 dispatch = _entry_block(handler)
             except CstError as error:
-                raise DecodeError(str(error)) from None
+                raise DecodeError(str(error), "DEC-CST") from None
             return RTry(body, dispatch, handler)
-        raise DecodeError(f"unknown region symbol {symbol}")
+        raise DecodeError(f"unknown region symbol {symbol}", "DEC-CST")
 
     # -- phase 2 -----------------------------------------------------------
 
@@ -355,10 +377,24 @@ class _FunctionDecoder:
         while current is not None:
             regs = self.planes.get(current.id, {}).get(plane, ())
             if index < len(regs):
-                return regs[index]
+                return self._check_trap_visibility(block, regs[index])
             index -= len(regs)
             current = self.domtree.idom.get(current)
-        raise DecodeError("unresolvable value reference")
+        raise DecodeError("unresolvable value reference", "DEC-REF")
+
+    def _check_trap_visibility(self, use_block: Block,
+                               instr: Instr) -> Instr:
+        """Dominance alone over-approximates visibility for a trapping
+        subblock tail: the exception edge leaves before the result is
+        assigned, so the reference is only sound beneath the tail's
+        normal successor (see ir.trapping_tail_gate)."""
+        gate = ir.trapping_tail_gate(instr.block, instr)
+        if gate is not None and instr.block is not use_block \
+                and not self.domtree.dominates(gate, use_block):
+            raise DecodeError(
+                f"reference to trapping v{instr.id} from B{use_block.id}, "
+                "reachable through its exception edge", "DEC-TRAP-REF")
+        return instr
 
     def _ref(self, block: Block, plane: Plane) -> Instr:
         return self._resolve_ref(block, plane,
@@ -379,7 +415,7 @@ class _FunctionDecoder:
         self._defined = {}
         phi_count = reader.read_gamma()
         if phi_count > 1 << 16:
-            raise DecodeError("unreasonable phi count")
+            raise DecodeError("unreasonable phi count", "DEC-LIMIT")
         if phi_count and not block.preds:
             raise DecodeError("phis in a block without predecessors")
         for _ in range(phi_count):
@@ -388,7 +424,7 @@ class _FunctionDecoder:
             self._record(block, phi)
         instr_count = reader.read_gamma()
         if instr_count > 1 << 20:
-            raise DecodeError("unreasonable instruction count")
+            raise DecodeError("unreasonable instruction count", "DEC-LIMIT")
         dispatch = self.dispatch_of.get(block.id)
         exc_edge = block.exc_succ()
         for position in range(instr_count):
@@ -396,18 +432,22 @@ class _FunctionDecoder:
             if instr.traps and dispatch is not None:
                 if position != instr_count - 1:
                     raise DecodeError(
-                        "trapping instruction does not close its subblock")
+                        "trapping instruction does not close its subblock",
+                        "DEC-EXC")
                 if exc_edge is not dispatch:
                     raise DecodeError(
-                        "trapping subblock lacks its exception edge")
+                        "trapping subblock lacks its exception edge",
+                        "DEC-EXC")
             if isinstance(instr, ir.CaughtExc):
                 kinds = {kind for _, kind in block.preds}
                 if kinds != {"exc"}:
-                    raise DecodeError("caughtexc outside a dispatch block")
+                    raise DecodeError("caughtexc outside a dispatch block",
+                                      "DEC-EXC")
         term = block.term
         if exc_edge is not None and term.kind == "fall":
             if not (block.instrs and block.instrs[-1].traps):
-                raise DecodeError("exception edge without exception point")
+                raise DecodeError("exception edge without exception point",
+                                  "DEC-EXC")
         if term.kind == "branch":
             term.value = self._ref(block, Plane.of_type(BOOLEAN))
             term.value.users.add(ir._TermUse(term))
@@ -637,10 +677,20 @@ class _FunctionDecoder:
 
     def _decode_phi_operands(self, block: Block) -> None:
         for phi in block.phis:
-            for pred, _kind in block.preds:
+            for pred, kind in block.preds:
                 defined = len(self.planes.get(pred.id, {})
                               .get(phi.plane, ()))
                 operand = self._resolve_ref(pred, phi.plane, defined)
+                # along an exception edge, only values defined *before*
+                # the trap fires are available -- which excludes the
+                # trapping tail itself
+                if kind == "exc" and operand.traps \
+                        and operand.block is pred \
+                        and pred.instrs and pred.instrs[-1] is operand:
+                    raise DecodeError(
+                        f"phi operand v{operand.id} is the trapping tail "
+                        f"of its own exception edge B{pred.id}",
+                        "DEC-TRAP-REF")
                 phi.add_operand(operand)
 
 
@@ -650,5 +700,11 @@ def decode_module(data: bytes) -> Module:
     from repro.typesys.world import WorldError
     try:
         return _ModuleDecoder(data).decode()
-    except (BitIOError, WorldError, TypeTableError, ValueError) as error:
-        raise DecodeError(str(error)) from None
+    except BitIOError as error:
+        raise DecodeError(str(error), "DEC-IO") from None
+    except WorldError as error:
+        raise DecodeError(str(error), "DEC-WORLD") from None
+    except TypeTableError as error:
+        raise DecodeError(str(error), "DEC-TABLE") from None
+    except ValueError as error:
+        raise DecodeError(str(error), "DEC-VALUE") from None

@@ -1,0 +1,41 @@
+"""``repro.fuzz``: differential conformance + wire-mutation fuzzing.
+
+The paper's headline safety claim -- "even a hand-crafted malicious
+program cannot undermine type safety" (Sections 3, 9) -- is exercised
+here mechanically and at scale:
+
+* :mod:`repro.fuzz.gen` -- a seeded, deterministic MiniJava++ program
+  generator (one grammar shared with the hypothesis property tests);
+* :mod:`repro.fuzz.oracle` -- a differential oracle running every
+  generated program through each pipeline pair the repo claims agree
+  (interpreter vs JIT vs bytecode baseline, plain vs each pass spec,
+  serial vs parallel, encode/decode/re-encode bit identity);
+* :mod:`repro.fuzz.mutate` -- a wire-stream mutation fuzzer whose
+  invariant is *reject-or-equivalent*: every mutated stream either
+  raises :class:`~repro.encode.deserializer.DecodeError` /
+  :class:`~repro.tsa.verifier.VerifyError` or decodes to a module that
+  verifies and executes identically across re-encoding;
+* :mod:`repro.fuzz.minimize` -- delta-debugging shrinkers persisting
+  findings as regression fixtures under ``tests/golden/attacks/``;
+* :mod:`repro.fuzz.campaign` -- the budgeted driver behind
+  ``repro-cc fuzz`` and ``python -m repro.bench.runner fuzz``.
+"""
+
+from repro.fuzz.campaign import CampaignResult, run_campaign
+from repro.fuzz.gen import GeneratedProgram, generate_seeded, program_strategy
+from repro.fuzz.mutate import StreamOutcome, check_stream, mutate_stream
+from repro.fuzz.oracle import Divergence, OracleResult, check_program
+
+__all__ = [
+    "CampaignResult",
+    "Divergence",
+    "GeneratedProgram",
+    "OracleResult",
+    "StreamOutcome",
+    "check_program",
+    "check_stream",
+    "generate_seeded",
+    "mutate_stream",
+    "program_strategy",
+    "run_campaign",
+]

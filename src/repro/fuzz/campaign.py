@@ -1,0 +1,327 @@
+"""Budgeted fuzzing campaigns (the engine behind ``repro-cc fuzz``).
+
+Two campaign modes, both deterministic under a fixed seed:
+
+* **programs** -- generate seeded programs and run each through the
+  differential oracle (:mod:`repro.fuzz.oracle`); a divergence is
+  shrunk with :func:`repro.fuzz.minimize.minimize_lines`;
+* **streams** -- mutate known-good wire streams and classify each
+  mutant against the reject-or-equivalent invariant
+  (:mod:`repro.fuzz.mutate`); a finding is shrunk with
+  :func:`repro.fuzz.minimize.minimize_bytes` and can be persisted as a
+  regression fixture.
+
+``mode="all"`` runs a program campaign at a tenth of the budget plus a
+stream campaign at the full budget.
+
+Determinism contract: iteration ``i`` of a program campaign uses
+generator seed ``seed * 1_000_003 + i``; a stream campaign draws every
+decision from one ``random.Random`` derived from the seed.  Two runs
+with the same seed and budget therefore see the same programs, the
+same mutants, the same findings, and byte-identical fixtures.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from repro.fuzz.gen import RandomSource, generate_seeded
+from repro.fuzz.minimize import minimize_bytes, minimize_lines, save_fixture
+from repro.fuzz.mutate import check_stream, mutate_stream
+from repro.fuzz.oracle import check_program
+
+#: deterministic seed programs whose encodings are the mutation bases;
+#: they deliberately span the encoding's feature set (type table,
+#: hierarchy + dispatch, fields, arrays + safe planes, try/catch,
+#: loops/phis, constants)
+BASE_PROGRAMS: tuple[tuple[str, str], ...] = (
+    ("arith", """
+class T {
+    static int f(int a, int b) {
+        int r = 0;
+        for (int i = 0; i < 4; i++) { r = r + a / b; }
+        return r;
+    }
+    static void main() { System.out.println(f(12, 3)); }
+}
+"""),
+    ("dispatch", """
+class A { int v; int get() { return v; } }
+class B extends A { int get() { return v * 2; } }
+class T {
+    static void main() {
+        A x = new B();
+        x.v = 21;
+        System.out.println(x.get());
+    }
+}
+"""),
+    ("arrays", """
+class T {
+    static void main() {
+        int[] xs = new int[5];
+        int total = 0;
+        for (int i = 0; i < 5; i++) { xs[i] = i * i; }
+        try { total = xs[7]; }
+        catch (ArrayIndexOutOfBoundsException e) { total = -1; }
+        for (int i = 0; i < 5; i++) { total += xs[i]; }
+        System.out.println(total);
+    }
+}
+"""),
+    ("strings", """
+class T {
+    static String tag(boolean hot) { return hot ? "hot" : "cold"; }
+    static void main() {
+        System.out.println(tag(true) + "/" + tag(false));
+    }
+}
+"""),
+)
+
+
+@dataclass(frozen=True)
+class ProgramFinding:
+    """One oracle divergence, with its shrunken reproducer."""
+
+    seed: int
+    pipeline: str
+    detail: str
+    source: str
+    minimized: str
+
+
+@dataclass(frozen=True)
+class StreamFinding:
+    """One reject-or-equivalent violation, with its shrunken stream."""
+
+    base: str
+    mutator: str
+    code: str
+    detail: str
+    data: bytes
+    minimized: bytes
+
+
+@dataclass
+class CampaignResult:
+    mode: str
+    seed: int
+    budget: int
+    #: program campaign
+    programs: int = 0
+    pipelines_compared: int = 0
+    program_findings: list = field(default_factory=list)
+    #: stream campaign
+    mutations: int = 0
+    accepted: int = 0
+    rejected: int = 0
+    taxonomy: dict = field(default_factory=dict)
+    mutator_counts: dict = field(default_factory=dict)
+    stream_findings: list = field(default_factory=list)
+    seconds: dict = field(default_factory=dict)
+
+    @property
+    def findings(self) -> list:
+        return list(self.program_findings) + list(self.stream_findings)
+
+    @property
+    def ok(self) -> bool:
+        return not self.findings
+
+    def summary(self) -> str:
+        lines = [f"fuzz campaign: mode={self.mode} seed={self.seed} "
+                 f"budget={self.budget}"]
+        if self.programs:
+            seconds = self.seconds.get("programs", 0.0)
+            rate = self.programs / seconds if seconds else 0.0
+            lines.append(
+                f"  programs  {self.programs} generated, "
+                f"{self.pipelines_compared} pipeline runs agreed, "
+                f"{len(self.program_findings)} divergence(s)  "
+                f"[{seconds:.1f}s, {rate:.1f}/s]")
+        if self.mutations:
+            seconds = self.seconds.get("streams", 0.0)
+            rate = self.mutations / seconds if seconds else 0.0
+            lines.append(
+                f"  streams   {self.mutations} mutants: "
+                f"{self.rejected} rejected, {self.accepted} accepted, "
+                f"{len(self.stream_findings)} finding(s)  "
+                f"[{seconds:.1f}s, {rate:.0f}/s]")
+            top = sorted(self.taxonomy.items(),
+                         key=lambda item: (-item[1], item[0]))[:8]
+            for code, count in top:
+                lines.append(f"    {code:<24} {count}")
+        for finding in self.program_findings:
+            lines.append(f"  DIVERGENCE [{finding.pipeline}] "
+                         f"seed={finding.seed}: {finding.detail}")
+        for finding in self.stream_findings:
+            lines.append(f"  FINDING [{finding.code}] via {finding.mutator} "
+                         f"on {finding.base} "
+                         f"({len(finding.minimized)} bytes minimized): "
+                         f"{finding.detail}")
+        return "\n".join(lines)
+
+    def report(self) -> dict:
+        """JSON-able campaign report (consumed by ``BENCH_fuzz.json``)."""
+        program_seconds = self.seconds.get("programs", 0.0)
+        stream_seconds = self.seconds.get("streams", 0.0)
+        return {
+            "mode": self.mode,
+            "seed": self.seed,
+            "budget": self.budget,
+            "programs": {
+                "count": self.programs,
+                "pipelines_compared": self.pipelines_compared,
+                "divergences": len(self.program_findings),
+                "seconds": round(program_seconds, 3),
+                "per_second": round(self.programs / program_seconds, 2)
+                if program_seconds else None,
+            },
+            "streams": {
+                "mutations": self.mutations,
+                "accepted": self.accepted,
+                "rejected": self.rejected,
+                "findings": len(self.stream_findings),
+                "seconds": round(stream_seconds, 3),
+                "per_second": round(self.mutations / stream_seconds, 1)
+                if stream_seconds else None,
+                "taxonomy": dict(sorted(self.taxonomy.items())),
+                "mutators": dict(sorted(self.mutator_counts.items())),
+            },
+            "findings": [
+                {"kind": "program", "pipeline": f.pipeline, "seed": f.seed,
+                 "detail": f.detail}
+                for f in self.program_findings
+            ] + [
+                {"kind": "stream", "code": f.code, "mutator": f.mutator,
+                 "base": f.base, "bytes": f.minimized.hex(),
+                 "detail": f.detail}
+                for f in self.stream_findings
+            ],
+        }
+
+
+def program_seed(campaign_seed: int, index: int) -> int:
+    """Generator seed for iteration ``index`` (the determinism contract)."""
+    return campaign_seed * 1_000_003 + index
+
+
+def stream_bases() -> list[tuple[str, bytes]]:
+    """The known-good wire streams a stream campaign mutates: every
+    base program encoded both plain and optimised."""
+    from repro.encode.serializer import encode_module
+    from repro.pipeline import compile_to_module
+    bases = []
+    for name, source in BASE_PROGRAMS:
+        plain = compile_to_module(source, cache=False)
+        bases.append((name, encode_module(plain)))
+        optimized = compile_to_module(source, optimize=True, cache=False)
+        bases.append((f"{name}+opt", encode_module(optimized)))
+    return bases
+
+
+# ======================================================================
+# the two campaign bodies
+
+def _run_programs(result: CampaignResult, seed: int, budget: int,
+                  minimize: bool,
+                  on_progress: Optional[Callable]) -> None:
+    start = time.perf_counter()
+    for index in range(budget):
+        generated = generate_seeded(program_seed(seed, index))
+        oracle = check_program(generated.source, generated.main_class)
+        result.programs += 1
+        result.pipelines_compared += oracle.pipelines
+        if oracle.divergence is not None:
+            divergence = oracle.divergence
+            minimized = generated.source
+            if minimize:
+                pipeline = divergence.pipeline
+
+                def still_diverges(candidate: str) -> bool:
+                    shrunk = check_program(candidate, None)
+                    return (shrunk.divergence is not None
+                            and shrunk.divergence.pipeline == pipeline)
+
+                try:
+                    minimized = minimize_lines(generated.source,
+                                               still_diverges)
+                except ValueError:
+                    # divergence needs the named main class; keep as-is
+                    minimized = generated.source
+            result.program_findings.append(ProgramFinding(
+                seed=generated.seed, pipeline=divergence.pipeline,
+                detail=str(divergence), source=generated.source,
+                minimized=minimized))
+        if on_progress and (index + 1) % 100 == 0:
+            on_progress(f"programs {index + 1}/{budget}, "
+                        f"{len(result.program_findings)} divergence(s)")
+    result.seconds["programs"] = time.perf_counter() - start
+
+
+def _run_streams(result: CampaignResult, seed: int, budget: int,
+                 minimize: bool, fixtures_dir,
+                 on_progress: Optional[Callable]) -> None:
+    bases = stream_bases()
+    rng = RandomSource(seed * 2_147_483_659 + 17)
+    start = time.perf_counter()
+    for index in range(budget):
+        base_name, base = bases[rng.integer(0, len(bases) - 1)]
+        mutator, mutant = mutate_stream(base, rng)
+        outcome = check_stream(mutant)
+        result.mutations += 1
+        result.mutator_counts[mutator] = \
+            result.mutator_counts.get(mutator, 0) + 1
+        result.taxonomy[outcome.code] = \
+            result.taxonomy.get(outcome.code, 0) + 1
+        if outcome.kind == "rejected":
+            result.rejected += 1
+        elif outcome.kind == "accepted":
+            result.accepted += 1
+        else:
+            minimized = mutant
+            if minimize:
+                code = outcome.code
+
+                def same_finding(candidate: bytes) -> bool:
+                    shrunk = check_stream(candidate)
+                    return shrunk.is_finding and shrunk.code == code
+
+                minimized = minimize_bytes(mutant, same_finding)
+            finding = StreamFinding(
+                base=base_name, mutator=mutator, code=outcome.code,
+                detail=outcome.detail, data=mutant, minimized=minimized)
+            result.stream_findings.append(finding)
+            if fixtures_dir is not None:
+                save_fixture(fixtures_dir, minimized, {
+                    "code": outcome.code,
+                    "detail": outcome.detail,
+                    "mutator": mutator,
+                    "base": base_name,
+                    "campaign_seed": seed,
+                })
+        if on_progress and (index + 1) % 1000 == 0:
+            on_progress(f"streams {index + 1}/{budget}, "
+                        f"{len(result.stream_findings)} finding(s)")
+    result.seconds["streams"] = time.perf_counter() - start
+
+
+def run_campaign(seed: int = 0, budget: int = 1000, mode: str = "all", *,
+                 minimize: bool = True, fixtures_dir=None,
+                 on_progress: Optional[Callable] = None) -> CampaignResult:
+    """Run one deterministic campaign; see the module docstring for the
+    budget/seed semantics."""
+    if mode not in ("programs", "streams", "all"):
+        raise ValueError(f"unknown fuzz mode {mode!r}")
+    result = CampaignResult(mode=mode, seed=seed, budget=budget)
+    if mode in ("programs", "all"):
+        program_budget = budget if mode == "programs" \
+            else max(1, budget // 10)
+        _run_programs(result, seed, program_budget, minimize, on_progress)
+    if mode in ("streams", "all"):
+        _run_streams(result, seed, budget, minimize, fixtures_dir,
+                     on_progress)
+    return result

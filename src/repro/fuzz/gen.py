@@ -1,0 +1,286 @@
+"""Seeded, deterministic MiniJava++ program generator.
+
+One grammar, two front doors: the fuzz campaign draws decisions from a
+:class:`RandomSource` (``random.Random(seed)``), the property tests draw
+the *same* grammar through a hypothesis strategy
+(:func:`program_strategy`), so shrinking still works.  Everything the
+generator emits is a closed, type-correct program whose ``Main.main``
+terminates quickly:
+
+* loops always count a dedicated variable the statement grammar cannot
+  reassign (``for`` indices ``i<n>``, ``while`` counters ``w<n>``);
+* ``/`` and ``%`` appear either with an ``(x | 1)`` divisor (never
+  zero) or inside a ``try/catch (ArithmeticException)``;
+* unguarded array indices are masked to the array length, deliberately
+  risky ones sit inside ``try/catch (ArrayIndexOutOfBoundsException)``.
+
+The grammar deliberately spans the features the SafeTSA encoding treats
+specially: class hierarchies and virtual dispatch (method tables),
+fields (memory dependence), arrays (safe-index planes),
+``try/catch/finally`` (exception subblocks and dispatch), short-circuit
+operators (lowered to control flow), ``switch``, ``break``/``continue``
+and labeled loops (CST productions).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Sequence
+
+
+# ======================================================================
+# decision sources
+
+class DrawSource:
+    """Where the generator's choices come from (seeded RNG or hypothesis)."""
+
+    def integer(self, lo: int, hi: int) -> int:
+        raise NotImplementedError
+
+    def choice(self, options: Sequence):
+        return options[self.integer(0, len(options) - 1)]
+
+    def boolean(self) -> bool:
+        return self.integer(0, 1) == 1
+
+
+class RandomSource(DrawSource):
+    """Deterministic draws from ``random.Random(seed)``."""
+
+    def __init__(self, seed) -> None:
+        self.rng = seed if isinstance(seed, random.Random) \
+            else random.Random(seed)
+
+    def integer(self, lo: int, hi: int) -> int:
+        return self.rng.randint(lo, hi)
+
+
+class HypothesisSource(DrawSource):
+    """Adapter drawing every decision through a hypothesis ``draw``
+    function, so the shared grammar becomes a shrinkable strategy."""
+
+    def __init__(self, draw) -> None:
+        self._draw = draw
+        from hypothesis import strategies as st
+        self._st = st
+
+    def integer(self, lo: int, hi: int) -> int:
+        return self._draw(self._st.integers(min_value=lo, max_value=hi))
+
+
+# ======================================================================
+# the grammar
+
+_INT_BIN_OPS = ("+", "-", "*", "&", "|", "^")
+_SHIFT_OPS = ("<<", ">>", ">>>")
+_CMP_OPS = ("<", "<=", ">", ">=", "==", "!=")
+_INT_VARS = ("a", "b", "c")
+_MAX_EXPR_DEPTH = 3
+_MAX_STMT_DEPTH = 2
+_ARRAY_LEN = 8  # power of two: `& 7` masks any index into range
+
+
+@dataclass(frozen=True)
+class GeneratedProgram:
+    """A generated source text plus how to run it."""
+
+    source: str
+    main_class: str = "Main"
+    seed: int | None = None
+
+
+class _ProgramBuilder:
+    def __init__(self, src: DrawSource) -> None:
+        self.src = src
+        self._fresh = 0
+
+    def fresh(self, prefix: str) -> str:
+        self._fresh += 1
+        return f"{prefix}{self._fresh}"
+
+    # -- expressions ----------------------------------------------------
+
+    def int_expr(self, depth: int = 0) -> str:
+        src = self.src
+        if depth >= _MAX_EXPR_DEPTH or src.boolean():
+            kind = src.integer(0, 2)
+            if kind == 0:
+                return str(src.integer(-100, 100))
+            return src.choice(_INT_VARS)
+        kind = src.integer(0, 4)
+        left = self.int_expr(depth + 1)
+        right = self.int_expr(depth + 1)
+        if kind == 0:  # division/modulo with a provably nonzero divisor
+            op = src.choice(("/", "%"))
+            return f"({left} {op} ({right} | 1))"
+        if kind == 1:  # shift with a masked count
+            op = src.choice(_SHIFT_OPS)
+            return f"({left} {op} ({right} & 7))"
+        if kind == 2:  # ternary
+            return f"({self.bool_expr(depth + 1)} ? {left} : {right})"
+        op = src.choice(_INT_BIN_OPS)
+        return f"({left} {op} {right})"
+
+    def bool_expr(self, depth: int = 0) -> str:
+        src = self.src
+        if depth < _MAX_EXPR_DEPTH - 1 and src.integer(0, 3) == 0:
+            op = src.choice(("&&", "||"))
+            return (f"({self.bool_expr(depth + 1)} {op} "
+                    f"{self.bool_expr(depth + 1)})")
+        if src.integer(0, 5) == 0:
+            return f"(!{self.bool_expr(depth + 1)})" \
+                if depth < _MAX_EXPR_DEPTH else "true"
+        left = self.int_expr(max(depth, 2))
+        right = self.int_expr(max(depth, 2))
+        return f"({left} {src.choice(_CMP_OPS)} {right})"
+
+    def index_expr(self) -> str:
+        """An always-in-range array index."""
+        return f"({self.int_expr(2)} & {_ARRAY_LEN - 1})"
+
+    # -- statements -----------------------------------------------------
+
+    def statement(self, depth: int = 0) -> str:
+        src = self.src
+        kind = src.integer(0, 13 if depth < _MAX_STMT_DEPTH else 4)
+        var = src.choice(_INT_VARS)
+        if kind in (0, 1):
+            return f"{var} = {self.int_expr()};"
+        if kind == 2:
+            return f"arr[{self.index_expr()}] = {self.int_expr(1)};"
+        if kind == 3:
+            return f"{var} = arr[{self.index_expr()}];"
+        if kind == 4:
+            return f"{var} = s.weigh({self.int_expr(2)});"
+        if kind == 5:
+            then_body = self.statement(depth + 1)
+            if src.boolean():
+                return f"if {self.bool_expr()} {{ {then_body} }}"
+            return (f"if {self.bool_expr()} {{ {then_body} }} "
+                    f"else {{ {self.statement(depth + 1)} }}")
+        if kind == 6:
+            index = self.fresh("i")
+            bound = src.integer(1, 5)
+            body = self.statement(depth + 1)
+            extra = ""
+            if src.boolean():
+                extra = (f"if {self.bool_expr()} "
+                         f"{{ {src.choice(('break', 'continue'))}; }} ")
+            return (f"for (int {index} = 0; {index} < {bound}; "
+                    f"{index}++) {{ {extra}{body} }}")
+        if kind == 7:
+            counter = self.fresh("w")
+            bound = src.integer(1, 4)
+            return (f"{{ int {counter} = {bound}; "
+                    f"while ({counter} > 0) {{ {counter} = {counter} - 1; "
+                    f"{self.statement(depth + 1)} }} }}")
+        if kind == 8:  # trapping division, caught
+            handler = self.fresh("e")
+            body = self.statement(depth + 1)
+            stmt = (f"try {{ {var} = {var} / {src.choice(_INT_VARS)}; "
+                    f"{body} }} catch (ArithmeticException {handler}) "
+                    f"{{ {var} = -9; }}")
+            if src.boolean():
+                other = src.choice(_INT_VARS)
+                stmt += f" finally {{ {other} = {other} + 1; }}"
+            return stmt
+        if kind == 9:  # deliberately risky array access, caught
+            handler = self.fresh("e")
+            return (f"try {{ {var} = arr[{src.choice(_INT_VARS)}]; }} "
+                    f"catch (ArrayIndexOutOfBoundsException {handler}) "
+                    f"{{ {var} = {src.integer(-50, 50)}; }}")
+        if kind == 10:
+            body = self.statement(depth + 1)
+            return (f"switch ({var} & 3) {{ case 0: {var} = 1; "
+                    f"case 1: {var} = 2; break; case 2: {body} break; "
+                    f"default: {var} = {src.integer(-20, 20)}; }}")
+        if kind == 11:  # virtual-dispatch target changes mid-flight
+            cls = src.choice(("Shape", "Ring"))
+            return f"s = new {cls}(); s.tag = {self.int_expr(2)};"
+        if kind == 12:
+            return f"{var} = h({self.int_expr(2)});"
+        counter = self.fresh("d")  # do/while with a dedicated counter
+        bound = src.integer(1, 3)
+        return (f"{{ int {counter} = {bound}; "
+                f"do {{ {counter} = {counter} - 1; "
+                f"{self.statement(depth + 1)} }} "
+                f"while ({counter} > 0); }}")
+
+    # -- whole programs -------------------------------------------------
+
+    def program(self) -> GeneratedProgram:
+        src = self.src
+        count = src.integer(1, 6)
+        statements = [self.statement() for _ in range(count)]
+        helper_body = self.int_expr(1)
+        weigh_shape = self.int_expr(2).replace("a", "x") \
+            .replace("b", "tag").replace("c", "x")
+        weigh_ring = self.int_expr(2).replace("a", "tag") \
+            .replace("b", "x").replace("c", "x")
+        fill_mul = src.integer(-9, 9)
+        fill_add = src.integer(-9, 9)
+        body = "\n        ".join(statements)
+        source = f"""\
+class Shape {{
+    int tag;
+    int weigh(int x) {{ return {weigh_shape}; }}
+}}
+class Ring extends Shape {{
+    int weigh(int x) {{ return {weigh_ring}; }}
+}}
+class Main {{
+    static int h(int x) {{
+        int a = x; int b = x - 1; int c = 7;
+        return {helper_body};
+    }}
+    static void main() {{
+        int a = {src.integer(-100, 100)};
+        int b = {src.integer(-100, 100)};
+        int c = {src.integer(-100, 100)};
+        int[] arr = new int[{_ARRAY_LEN}];
+        for (int f0 = 0; f0 < {_ARRAY_LEN}; f0++) {{
+            arr[f0] = f0 * {fill_mul} + {fill_add};
+        }}
+        Shape s = new {src.choice(('Shape', 'Ring'))}();
+        s.tag = {src.integer(-50, 50)};
+        {body}
+        int sum = 0;
+        for (int f1 = 0; f1 < {_ARRAY_LEN}; f1++) {{ sum += arr[f1]; }}
+        System.out.println(a + " " + b + " " + c + " " + sum
+                           + " " + s.weigh(a) + " " + s.tag);
+    }}
+}}
+"""
+        return GeneratedProgram(source)
+
+
+# ======================================================================
+# public entry points
+
+def generate(src: DrawSource) -> GeneratedProgram:
+    """Generate one program from an abstract decision source."""
+    return _ProgramBuilder(src).program()
+
+
+def generate_seeded(seed: int) -> GeneratedProgram:
+    """Deterministic generation: the same seed yields the same source."""
+    program = generate(RandomSource(seed))
+    return GeneratedProgram(program.source, program.main_class, seed)
+
+
+def program_strategy():
+    """The shared grammar as a hypothesis strategy of
+    :class:`GeneratedProgram` values.
+
+    Property tests (``tests/test_properties.py``) and the fuzz campaign
+    draw from this one grammar; hypothesis drives the decisions, so
+    failing examples still shrink.
+    """
+    from hypothesis import strategies as st
+
+    @st.composite
+    def _programs(draw) -> GeneratedProgram:
+        return generate(HypothesisSource(draw))
+
+    return _programs()

@@ -1,0 +1,112 @@
+"""Delta-debugging shrinkers + regression-fixture persistence.
+
+:func:`minimize_sequence` is a greedy ddmin over any sliceable
+sequence: repeatedly delete chunks, halving the chunk size whenever a
+whole sweep removes nothing.  :func:`minimize_bytes` and
+:func:`minimize_lines` specialise it to wire streams and source texts.
+
+Shrunken crashers are persisted under ``tests/golden/attacks/`` as
+``<sha256[:16]>.bin`` next to a ``manifest.json`` that records what each
+stream is expected to do *after* the fix (its stable rejection code).
+``tests/test_fuzz.py`` replays every fixture on every run, so a finding
+fixed once stays fixed.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+from typing import Callable
+
+
+def minimize_sequence(items, failing: Callable, *,
+                      max_probes: int = 4000):
+    """Greedy ddmin: smallest subsequence for which ``failing`` holds.
+
+    ``failing(candidate)`` must be True for ``items`` itself; the
+    predicate is assumed deterministic.  ``max_probes`` bounds the
+    number of predicate evaluations so pathological predicates cannot
+    stall a campaign.
+    """
+    if not failing(items):
+        raise ValueError("minimize_sequence needs a failing input")
+    probes = 0
+    chunk = max(1, len(items) // 2)
+    while len(items) > 1 and probes < max_probes:
+        removed_any = False
+        start = 0
+        while start < len(items) and probes < max_probes:
+            candidate = items[:start] + items[start + chunk:]
+            probes += 1
+            if len(candidate) < len(items) and failing(candidate):
+                items = candidate
+                removed_any = True
+            else:
+                start += chunk
+        if not removed_any:
+            if chunk == 1:
+                break
+            chunk = max(1, chunk // 2)
+    return items
+
+
+def minimize_bytes(data: bytes, failing: Callable[[bytes], bool],
+                   **kwargs) -> bytes:
+    """Shrink a failing wire stream (byte-granular ddmin)."""
+    return bytes(minimize_sequence(bytes(data), failing, **kwargs))
+
+
+def minimize_lines(text: str, failing: Callable[[str], bool],
+                   **kwargs) -> str:
+    """Shrink a failing source program line-by-line."""
+    lines = text.split("\n")
+    reduced = minimize_sequence(
+        lines, lambda candidate: failing("\n".join(candidate)), **kwargs)
+    return "\n".join(reduced)
+
+
+# ======================================================================
+# fixture persistence
+
+def fixture_name(data: bytes) -> str:
+    """Content-addressed fixture file name (deterministic per stream)."""
+    return hashlib.sha256(data).hexdigest()[:16]
+
+
+def save_fixture(directory, data: bytes, meta: dict) -> Path:
+    """Persist one shrunken stream plus its manifest entry.
+
+    ``meta`` should describe the finding: the exception class observed
+    before the fix, the mutator that produced it, the campaign seed, and
+    (once fixed) the stable rejection code the stream must map to.
+    Saving the same stream twice just refreshes its manifest entry.
+    """
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    name = fixture_name(data)
+    (directory / f"{name}.bin").write_bytes(data)
+    manifest_path = directory / "manifest.json"
+    manifest = {}
+    if manifest_path.exists():
+        manifest = json.loads(manifest_path.read_text())
+    manifest[name] = meta
+    manifest_path.write_text(
+        json.dumps(manifest, indent=2, sort_keys=True) + "\n")
+    return directory / f"{name}.bin"
+
+
+def load_fixtures(directory) -> list[tuple[str, bytes, dict]]:
+    """Every persisted stream with its manifest entry (sorted by name)."""
+    directory = Path(directory)
+    if not directory.is_dir():
+        return []
+    manifest = {}
+    manifest_path = directory / "manifest.json"
+    if manifest_path.exists():
+        manifest = json.loads(manifest_path.read_text())
+    fixtures = []
+    for path in sorted(directory.glob("*.bin")):
+        fixtures.append((path.stem, path.read_bytes(),
+                         manifest.get(path.stem, {})))
+    return fixtures

@@ -1,0 +1,252 @@
+"""Wire-stream mutation fuzzing: the *reject-or-equivalent* invariant.
+
+Every mutated stream must fall into one of exactly two buckets:
+
+* **rejected** -- :class:`~repro.encode.deserializer.DecodeError` (with
+  its stable ``DEC-*`` code) or
+  :class:`~repro.tsa.verifier.VerifyError` (``STSA-*``), or
+* **equivalent** -- the stream decodes to a module that verifies,
+  executes without host-level errors, and behaves identically after a
+  further encode/decode round trip.
+
+Anything else -- ``IndexError``, ``KeyError``, ``struct.error``,
+``RecursionError``, an interpreter invariant violation on a module the
+verifier accepted -- is a *finding*: evidence that malformed input can
+reach code that assumed well-formedness.
+
+Execution of accepted mutants is resource-bounded: a small step budget
+(`StepLimitExceeded` counts as a clean run), an array-allocation cap
+(`AllocationLimitExceeded` likewise), and a recursion guard
+(`RecursionError` *during execution* maps to Java's
+``StackOverflowError`` semantics, not to a finding).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from repro.fuzz.gen import DrawSource
+
+#: step budget for executing accepted mutants -- mutated programs may
+#: loop forever or print per iteration, so this stays deliberately small
+EXEC_MAX_STEPS = 20_000
+#: array-allocation cap for accepted mutants (a mutated length constant
+#: must not make the harness swap)
+EXEC_MAX_ARRAY = 1 << 16
+
+
+@dataclass(frozen=True)
+class StreamOutcome:
+    """Classification of one (possibly mutated) wire stream."""
+
+    kind: str      # "rejected" | "accepted" | "finding"
+    code: str      # DEC-* / STSA-* code, run class, or exception name
+    detail: str = ""
+
+    @property
+    def is_finding(self) -> bool:
+        return self.kind == "finding"
+
+
+# ======================================================================
+# mutation operators
+
+def _bit_flip(data: bytearray, src: DrawSource) -> bytearray:
+    position = src.integer(0, len(data) * 8 - 1)
+    data[position // 8] ^= 1 << (position % 8)
+    return data
+
+
+def _byte_set(data: bytearray, src: DrawSource) -> bytearray:
+    data[src.integer(0, len(data) - 1)] = src.integer(0, 255)
+    return data
+
+
+def _burst(data: bytearray, src: DrawSource) -> bytearray:
+    """XOR a short run of bytes -- clobbers one coded field."""
+    start = src.integer(0, len(data) - 1)
+    for offset in range(src.integer(1, 8)):
+        if start + offset >= len(data):
+            break
+        data[start + offset] ^= src.integer(1, 255)
+    return data
+
+
+def _truncate(data: bytearray, src: DrawSource) -> bytearray:
+    return data[:src.integer(0, len(data) - 1)]
+
+
+def _extend(data: bytearray, src: DrawSource) -> bytearray:
+    """Trailing data must never ride along unnoticed."""
+    tail = bytes(src.integer(0, 255) for _ in range(src.integer(1, 8)))
+    return data + tail
+
+
+def _splice(data: bytearray, src: DrawSource) -> bytearray:
+    """Copy one chunk over another: gamma fields and bounded symbols
+    land on plausible-but-wrong values from elsewhere in the stream."""
+    length = src.integer(1, max(1, len(data) // 4))
+    source = src.integer(0, len(data) - 1)
+    target = src.integer(0, len(data) - 1)
+    chunk = bytes(data[source:source + length])
+    data[target:target + len(chunk)] = chunk
+    return data
+
+
+def _delete(data: bytearray, src: DrawSource) -> bytearray:
+    """Remove a chunk: every later symbol shifts phase."""
+    length = src.integer(1, max(1, len(data) // 4))
+    start = src.integer(0, len(data) - 1)
+    del data[start:start + length]
+    return data
+
+
+def _duplicate(data: bytearray, src: DrawSource) -> bytearray:
+    length = src.integer(1, max(1, len(data) // 4))
+    start = src.integer(0, len(data) - 1)
+    chunk = bytes(data[start:start + length])
+    at = src.integer(0, len(data))
+    data[at:at] = chunk
+    return data
+
+
+def _header(data: bytearray, src: DrawSource) -> bytearray:
+    """Target the bytes right after the magic: type-table entry count,
+    array-element and superclass indexes, member tables."""
+    from repro.encode.common import MAGIC
+    lo = len(MAGIC)
+    hi = min(len(data) - 1, lo + 24)
+    if hi < lo:
+        return data
+    data[src.integer(lo, hi)] ^= src.integer(1, 255)
+    return data
+
+
+def _zero_run(data: bytearray, src: DrawSource) -> bytearray:
+    """Zeros decode as the smallest symbol everywhere -- dominator-pair
+    ``(l, r)`` references collapse onto register 0."""
+    start = src.integer(0, len(data) - 1)
+    for offset in range(src.integer(1, 6)):
+        if start + offset >= len(data):
+            break
+        data[start + offset] = 0
+    return data
+
+
+MUTATORS: tuple[tuple[str, Callable], ...] = (
+    ("bitflip", _bit_flip),
+    ("bitflip", _bit_flip),     # weighted: single flips find the most
+    ("byteset", _byte_set),
+    ("burst", _burst),
+    ("truncate", _truncate),
+    ("extend", _extend),
+    ("splice", _splice),
+    ("delete", _delete),
+    ("duplicate", _duplicate),
+    ("header", _header),
+    ("zero", _zero_run),
+)
+
+
+def mutate_stream(data: bytes, src: DrawSource) -> tuple[str, bytes]:
+    """Apply one randomly chosen mutation operator; returns its name
+    and the mutated bytes."""
+    if not data:
+        return "extend", bytes(_extend(bytearray(), src))
+    name, operator = src.choice(MUTATORS)
+    return name, bytes(operator(bytearray(data), src))
+
+
+# ======================================================================
+# the invariant checker
+
+def _default_args(method) -> Optional[list]:
+    """Zero values for a static method's parameters, or None when a
+    parameter type has no obvious default."""
+    args = []
+    for param in method.param_types:
+        if param.is_reference():
+            args.append(None)
+        else:
+            name = getattr(param, "name", "")
+            args.append(0.0 if name in ("float", "double") else
+                        False if name == "boolean" else 0)
+    return args
+
+
+def _execute(module, max_steps: int):
+    """Run the first runnable static method body; returns the
+    ExecutionResult or None when the module has nothing to run."""
+    from repro.interp.interpreter import Interpreter
+    interp = Interpreter(module, max_steps=max_steps)
+    interp.max_array_length = EXEC_MAX_ARRAY
+    for method, function in module.functions.items():
+        if method.is_static and method.name != "<clinit>":
+            return interp.run_function(function, _default_args(method))
+    return None
+
+
+def check_stream(data: bytes, *,
+                 max_steps: int = EXEC_MAX_STEPS) -> StreamOutcome:
+    """Classify one stream against the reject-or-equivalent invariant."""
+    from repro.encode.deserializer import DecodeError, decode_module
+    from repro.encode.serializer import encode_module
+    from repro.interp.interpreter import (
+        AllocationLimitExceeded,
+        StepLimitExceeded,
+    )
+    from repro.tsa.verifier import VerifyError, verify_module
+
+    try:
+        module = decode_module(data)
+    except DecodeError as error:
+        return StreamOutcome("rejected",
+                             getattr(error, "code", "DEC-MALFORMED"),
+                             str(error)[:200])
+    except Exception as error:  # the whole point of the fuzzer
+        return StreamOutcome("finding", type(error).__name__,
+                             f"decode: {error!r}"[:300])
+
+    try:
+        verify_module(module)
+    except VerifyError as error:
+        return StreamOutcome("rejected", error.code, str(error)[:200])
+    except Exception as error:
+        return StreamOutcome("finding", type(error).__name__,
+                             f"verify: {error!r}"[:300])
+
+    def run(target_module):
+        try:
+            result = _execute(target_module, max_steps)
+        except (StepLimitExceeded, AllocationLimitExceeded):
+            return ("bounded", None)
+        except RecursionError:
+            # Java semantics for unbounded recursion: StackOverflowError
+            return ("stackoverflow", None)
+        if result is None:
+            return ("no-entry", None)
+        return (result.stdout, result.exception_name())
+
+    try:
+        first = run(module)
+    except Exception as error:
+        return StreamOutcome("finding", type(error).__name__,
+                             f"execute: {error!r}"[:300])
+
+    # equivalence across a further round trip: re-encode, decode,
+    # re-run -- behaviour must be identical
+    try:
+        reencoded = encode_module(module)
+        second_module = decode_module(reencoded)
+        verify_module(second_module)
+        second = run(second_module)
+    except Exception as error:
+        return StreamOutcome("finding", type(error).__name__,
+                             f"reencode: {error!r}"[:300])
+    if second != first:
+        return StreamOutcome(
+            "finding", "ReencodeDivergence",
+            f"first run {first!r} != round-tripped run {second!r}"[:300])
+    return StreamOutcome("accepted", "ran" if first[0] != "no-entry"
+                         else "no-entry")

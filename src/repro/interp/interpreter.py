@@ -33,6 +33,10 @@ class StepLimitExceeded(InterpreterError):
     """The configured execution budget ran out."""
 
 
+class AllocationLimitExceeded(InterpreterError):
+    """An array allocation exceeded the configured cap (fuzzing guard)."""
+
+
 class ExecutionResult:
     """Observable outcome of running an entry point."""
 
@@ -65,6 +69,10 @@ class Interpreter:
         self.runtime = Runtime(module.world)
         self.runtime.invoke_virtual = self._invoke_virtual_for_runtime
         self.max_steps = max_steps
+        #: optional cap on single-array allocations; None = unlimited.
+        #: The fuzz harness sets this so a mutated length constant in an
+        #: otherwise valid module cannot exhaust host memory.
+        self.max_array_length: Optional[int] = None
         self.steps = 0
         self.check_counts = {"nullcheck": 0, "idxcheck": 0, "upcast": 0}
         self._initialized = False
@@ -320,6 +328,10 @@ class Interpreter:
         if length < 0:
             self.runtime.throw("java.lang.NegativeArraySizeException",
                                str(length))
+        if self.max_array_length is not None \
+                and length > self.max_array_length:
+            raise AllocationLimitExceeded(
+                f"new array of {length} > cap {self.max_array_length}")
         return ArrayRef(instr.array_type, length)
 
     def _exec_instanceof(self, instr: ir.InstanceOf, frame):

@@ -635,6 +635,27 @@ class Block:
         return f"<block B{self.id}>"
 
 
+def trapping_tail_gate(def_block: Block, instr: Instr) -> Optional[Block]:
+    """The block past which ``instr``'s result is actually defined.
+
+    A trapping instruction that closes a subblock with an exception edge
+    assigns its result only on the fall-through path -- when it traps,
+    control leaves for the dispatch block *before* the definition.  The
+    result is therefore defined exactly beneath the normal successor,
+    not beneath the defining block: a use point merely dominated by
+    ``def_block`` can still be reached through the exception edge with
+    the register unassigned.  Returns that normal successor ("gate"), or
+    None when the value is unconditionally defined at the end of
+    ``def_block`` (non-trapping, no exception edge, or not the tail).
+    """
+    if not instr.traps or def_block.exc_succ() is None:
+        return None
+    if not def_block.instrs or def_block.instrs[-1] is not instr:
+        return None
+    succs = def_block.normal_succs()
+    return succs[0] if len(succs) == 1 else None
+
+
 class Function:
     """A SafeTSA method body: entry block, block list, CST, parameters."""
 

@@ -15,7 +15,10 @@ Checked properties:
 
 1. the CST derives a consistent CFG (structure);
 2. every operand's definition dominates its use -- same-block uses must
-   be defined earlier (referential integrity, Section 2);
+   be defined earlier (referential integrity, Section 2); a value
+   produced by a *trapping* subblock tail is additionally only usable
+   beneath the tail's normal successor, because the exception edge
+   leaves before the definition (``STSA-REF-004``);
 3. every operand lives on exactly the register plane the instruction
    implies (type separation, Sections 3-4);
 4. phi operand counts match predecessor counts and each operand is
@@ -238,16 +241,16 @@ class _FunctionVerifier:
         if len(phi.operands) != len(block.preds):
             self.fail(f"phi v{phi.id} has {len(phi.operands)} operands for "
                       f"{len(block.preds)} predecessors", "STSA-PHI-001")
-        for operand, (pred, _kind) in zip(phi.operands, block.preds):
+        for operand, (pred, kind) in zip(phi.operands, block.preds):
             if operand.plane != phi.plane:
                 self.fail(f"phi v{phi.id} operand v{operand.id} is on plane "
                           f"{operand.plane}, not {phi.plane}",
                           "STSA-PHI-002")
-            self._check_available_at_end(pred, operand,
+            self._check_available_at_end(pred, kind, operand,
                                          f"phi v{phi.id} operand")
 
-    def _check_available_at_end(self, pred: Block, operand: Instr,
-                                what: str) -> None:
+    def _check_available_at_end(self, pred: Block, kind: str,
+                                operand: Instr, what: str) -> None:
         if pred not in self.domtree.idom:
             # an edge from an unreachable predecessor can never execute;
             # its operand slot is dead data (the block itself is the
@@ -257,9 +260,31 @@ class _FunctionVerifier:
         if def_block is None:
             self.fail(f"{what} v{operand.id} has no definition",
                       "STSA-REF-003")
+        if def_block is pred:
+            # along an exception edge the values available are those
+            # defined *before* the trap fires -- which excludes the
+            # trapping tail itself
+            if kind == "exc" and operand.traps \
+                    and pred.instrs and pred.instrs[-1] is operand:
+                self.fail(f"{what} v{operand.id} is the trapping tail of "
+                          f"its own exception edge B{pred.id}",
+                          "STSA-REF-004")
+            return
         if not self.domtree.dominates(def_block, pred):
             self.fail(f"{what} v{operand.id} (B{def_block.id}) does not "
                       f"dominate predecessor B{pred.id}", "STSA-PHI-003")
+        self._check_trap_gate(operand, def_block, pred, what)
+
+    def _check_trap_gate(self, operand: Instr, def_block: Block,
+                         target: Block, what: str) -> None:
+        """A trapping tail's result is undefined on its exception edge:
+        every use must sit beneath the tail's *normal* successor, not
+        merely beneath the defining block (see ir.trapping_tail_gate)."""
+        gate = ir.trapping_tail_gate(def_block, operand)
+        if gate is not None and not self.domtree.dominates(gate, target):
+            self.fail(
+                f"{what} uses trapping v{operand.id} (B{def_block.id}) on "
+                f"a path through its exception edge", "STSA-REF-004")
 
     def _verify_operand_dominance(self, block: Block, instr: Instr) -> None:
         _, use_pos = self.linear[instr.id]
@@ -277,6 +302,9 @@ class _FunctionVerifier:
                 self.fail(
                     f"v{instr.id} in B{block.id} references v{operand.id} "
                     f"in non-dominating B{def_block.id}", "STSA-REF-002")
+            else:
+                self._check_trap_gate(operand, def_block, block,
+                                      f"v{instr.id} in B{block.id}")
 
     def _verify_term(self, block: Block, dispatch: Optional[Block]) -> None:
         term = block.term
@@ -289,10 +317,12 @@ class _FunctionVerifier:
                 self.fail(f"terminator of B{block.id} references undefined "
                           f"value", "STSA-REF-003")
             def_block, _pos = entry
-            if def_block is not block \
-                    and not self.domtree.dominates(def_block, block):
-                self.fail(f"terminator of B{block.id} references "
-                          "non-dominating value", "STSA-REF-002")
+            if def_block is not block:
+                if not self.domtree.dominates(def_block, block):
+                    self.fail(f"terminator of B{block.id} references "
+                              "non-dominating value", "STSA-REF-002")
+                self._check_trap_gate(value, def_block, block,
+                                      f"terminator of B{block.id}")
         if term.kind == "branch":
             if value is None or value.plane != Plane.of_type(BOOLEAN):
                 self.fail(f"branch in B{block.id} is not on a boolean",

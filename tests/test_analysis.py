@@ -54,7 +54,12 @@ from repro.typesys.table import TypeTable
 from repro.typesys.types import INT, ArrayType
 from repro.typesys.world import ClassInfo, FieldInfo, MethodInfo, World
 
-from test_properties import program
+from repro.fuzz.gen import program_strategy
+
+
+def program():
+    """Source-text strategy over the shared fuzz grammar."""
+    return program_strategy().map(lambda generated: generated.source)
 
 
 # ---------------------------------------------------------------------------

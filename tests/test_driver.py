@@ -25,7 +25,12 @@ from repro.pipeline import (
     compile_to_module,
     pipeline_cache_key,
 )
-from test_properties import program
+from repro.fuzz.gen import program_strategy
+
+
+def program():
+    """Source-text strategy over the shared fuzz grammar."""
+    return program_strategy().map(lambda generated: generated.source)
 
 SOURCE = """
 class Main {

@@ -4,6 +4,8 @@ The JIT must be observably identical to the interpreter on every
 program -- exceptions, dispatch, covariance checks included.
 """
 
+from pathlib import Path
+
 import pytest
 
 from repro.bench.corpus import CORPUS_PROGRAMS, corpus_source
@@ -36,6 +38,50 @@ def test_jit_runs_decoded_modules():
         compile_to_module(source, optimize=True)))
     result = JitCompiler(module).run_main("BitSieve")
     assert result.stdout.startswith("primes=2262")
+
+
+@pytest.mark.parametrize("optimize", [False, True], ids=["plain", "opt"])
+@pytest.mark.parametrize("program", CORPUS_PROGRAMS)
+def test_jit_on_decoded_artifacts_matches_golden(program, optimize):
+    """The consumer-side story end to end: the producer encodes, the
+    consumer decodes the wire artifact and JITs it.  Stdout must match
+    the pinned golden output byte for byte, for both the plain and the
+    optimized artifact."""
+    source = corpus_source(program)
+    wire = encode_module(compile_to_module(source, optimize=optimize))
+    result = JitCompiler(decode_module(wire)).run_main(program)
+    golden = Path(__file__).parent / "golden" / f"{program}.out"
+    assert result.stdout == golden.read_text()
+    assert result.exception_name() is None
+
+
+@pytest.mark.parametrize("optimize", [False, True], ids=["plain", "opt"])
+def test_jit_exception_paths_through_wire(optimize):
+    """Interpreter vs JIT on the same decoded artifact where the
+    interesting path runs *through* try/finally: the finally body must
+    execute, then the uncaught exception must escape identically."""
+    src = """
+    class Main {
+        static int poke(int[] xs, int i) {
+            try { xs[i] = 1; return xs[0]; }
+            finally { System.out.println("fin " + i); }
+        }
+        static void main() {
+            int[] xs = new int[2];
+            System.out.println(poke(xs, 1));
+            System.out.println(poke(xs, 5));
+        }
+    }
+    """
+    module = decode_module(encode_module(
+        compile_to_module(src, optimize=optimize)))
+    expected = Interpreter(module).run_main("Main")
+    actual = JitCompiler(module).run_main("Main")
+    assert actual.stdout == expected.stdout
+    assert actual.stdout == "fin 1\n0\nfin 5\n"
+    assert actual.exception_name() == expected.exception_name()
+    assert actual.exception_name() \
+        == "java.lang.ArrayIndexOutOfBoundsException"
 
 
 class TestJitSemantics:

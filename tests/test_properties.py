@@ -11,14 +11,8 @@ from repro import jmath
 from repro.encode.bitio import BitReader, BitWriter
 from repro.encode.deserializer import DecodeError, decode_module
 from repro.encode.serializer import encode_module
-from repro.frontend.parser import parse_compilation_unit
-from repro.frontend.semantics import analyze
-from repro.interp.interpreter import Interpreter
-from repro.jvm.codegen import compile_unit
-from repro.jvm.interp import BytecodeInterpreter
 from repro.pipeline import compile_to_module
 from repro.tsa.verifier import verify_module
-from repro.uast.builder import UastBuilder
 
 
 # ======================================================================
@@ -95,116 +89,31 @@ def test_shifts_match_mask_semantics(a, s):
 
 # ======================================================================
 # random-program differential testing
+#
+# The program grammar lives in repro.fuzz.gen (one grammar, two
+# frontends: a seeded random.Random for campaigns, a hypothesis draw
+# here -- so shrinking still works); the agreement matrix lives in
+# repro.fuzz.oracle.  These tests drive both through hypothesis.
 
-_INT_BIN_OPS = ["+", "-", "*", "&", "|", "^"]
-_CMP_OPS = ["<", "<=", ">", ">=", "==", "!="]
-_VARS = ["a", "b", "c"]
-
-
-@st.composite
-def int_expr(draw, depth=0):
-    if depth >= 3 or draw(st.booleans()):
-        choice = draw(st.integers(min_value=0, max_value=2))
-        if choice == 0:
-            return str(draw(st.integers(min_value=-100, max_value=100)))
-        return draw(st.sampled_from(_VARS))
-    left = draw(int_expr(depth + 1))
-    right = draw(int_expr(depth + 1))
-    op = draw(st.sampled_from(_INT_BIN_OPS))
-    return f"({left} {op} {right})"
+from repro.fuzz.gen import program_strategy
+from repro.fuzz.oracle import check_program
 
 
-@st.composite
-def bool_expr(draw):
-    left = draw(int_expr(2))
-    right = draw(int_expr(2))
-    return f"({left} {draw(st.sampled_from(_CMP_OPS))} {right})"
-
-
-@st.composite
-def statement(draw, depth=0):
-    kind = draw(st.integers(min_value=0, max_value=7 if depth < 2 else 2))
-    var = draw(st.sampled_from(_VARS))
-    if kind in (0, 1, 2):
-        return f"{var} = {draw(int_expr())};"
-    if kind == 3:
-        then_body = draw(statement(depth + 1))
-        else_body = draw(statement(depth + 1))
-        return (f"if {draw(bool_expr())} {{ {then_body} }} "
-                f"else {{ {else_body} }}")
-    if kind == 4:
-        body = draw(statement(depth + 1))
-        return (f"for (int i{depth} = 0; i{depth} < "
-                f"{draw(st.integers(min_value=1, max_value=5))}; "
-                f"i{depth}++) {{ {body} }}")
-    if kind == 5:
-        body = draw(statement(depth + 1))
-        divisor = draw(st.sampled_from(_VARS))
-        return (f"try {{ {var} = {var} / {divisor}; {body} }} "
-                f"catch (ArithmeticException x{depth}) "
-                f"{{ {var} = -9; }}")
-    if kind == 6:
-        body = draw(statement(depth + 1))
-        return (f"switch ({var} & 3) {{ case 0: {var} = 1; "
-                f"case 1: {var} = 2; break; case 2: {body} break; "
-                f"default: {var} = 5; }}")
-    # while loops use a dedicated counter the body cannot reassign, so
-    # generated programs always terminate quickly
-    body = draw(statement(depth + 1))
-    bound = draw(st.integers(min_value=1, max_value=4))
-    return (f"{{ int w{depth} = {bound}; "
-            f"while (w{depth} > 0) {{ w{depth} = w{depth} - 1; "
-            f"{body} }} }}")
-
-
-@st.composite
-def program(draw):
-    statements = draw(st.lists(statement(), min_size=1, max_size=6))
-    body = "\n".join(statements)
-    return ("class P { static void main() {\n"
-            "int a = 3; int b = -7; int c = 100;\n"
-            f"{body}\n"
-            'System.out.println(a + " " + b + " " + c);\n'
-            "} }")
-
-
-@given(program())
+@given(program_strategy())
 @settings(max_examples=40, deadline=None)
-def test_generated_programs_agree_across_pipelines(source):
-    # SafeTSA plain
-    module = compile_to_module(source)
-    verify_module(module)
-    plain = Interpreter(module, max_steps=2_000_000).run_main()
-    # SafeTSA optimized
-    optimized_module = compile_to_module(source, optimize=True)
-    verify_module(optimized_module)
-    optimized = Interpreter(optimized_module,
-                            max_steps=2_000_000).run_main()
-    assert optimized.stdout == plain.stdout
-    # encode -> decode
-    decoded = decode_module(encode_module(optimized_module))
-    verify_module(decoded)
-    roundtrip = Interpreter(decoded, max_steps=2_000_000).run_main()
-    assert roundtrip.stdout == plain.stdout
-    # bytecode baseline
-    unit = parse_compilation_unit(source)
-    world = analyze(unit)
-    builder = UastBuilder(world)
-    classes = compile_unit(world, {decl.info: builder.build_class(decl)
-                                   for decl in unit.classes})
-    bytecode = BytecodeInterpreter(classes, world,
-                                   max_steps=2_000_000).run_main()
-    assert bytecode.stdout == plain.stdout
-    # consumer-side code generation
-    from repro.interp.jit import JitCompiler
-    jitted = JitCompiler(decoded).run_main()
-    assert jitted.stdout == plain.stdout
+def test_generated_programs_agree_across_pipelines(generated):
+    result = check_program(generated.source, generated.main_class)
+    assert not result.invalid, "generator produced an uncompilable program"
+    assert result.ok, str(result.divergence)
+    # the full matrix ran: reference + optimised + pass specs + wire +
+    # jobs + jit + bytecode
+    assert result.pipelines >= 7
 
 
-@given(program())
+@given(program_strategy())
 @settings(max_examples=15, deadline=None)
-def test_generated_programs_reencode_identically(source):
-    module = compile_to_module(source)
+def test_generated_programs_reencode_identically(generated):
+    module = compile_to_module(generated.source)
     wire = encode_module(module)
     assert encode_module(decode_module(wire)) == wire
 
