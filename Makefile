@@ -5,8 +5,8 @@ PYTHON ?= python3
 # Targets work from a bare checkout too (no editable install needed).
 export PYTHONPATH := src:$(PYTHONPATH)
 
-.PHONY: test bench bench-smoke bench-analysis bench-pipeline fuzz-smoke \
-	lint-corpus tables examples all clean
+.PHONY: test bench bench-smoke bench-analysis bench-pipeline bench-load \
+	fuzz-smoke lint-corpus tables examples all clean
 
 test:
 	$(PYTHON) -m pytest tests/ -q
@@ -27,6 +27,12 @@ bench-analysis:
 # the parallel fan-out determinism check; writes BENCH_pipeline.json.
 bench-pipeline:
 	$(PYTHON) -m repro.bench.runner pipeline --smoke
+
+# Consumer-side load cost: two-pass decode+verify vs the fused
+# loader's cold/warm/parallel/lazy paths; writes BENCH_load.json and
+# fails if the fused cold path stops beating the two-pass baseline.
+bench-load:
+	$(PYTHON) -m repro.bench.runner load --smoke
 
 # Deterministic fuzzing smoke: differential oracle over generated
 # programs + wire-stream mutation under a fixed seed (~30 s); writes

@@ -21,6 +21,9 @@ The package is organised as a complete producer/consumer toolchain:
   CSE over a ``Mem``-threaded memory SSA, dead-code and check elimination).
 - :mod:`repro.encode` -- the three-phase bit-level wire format in which
   ill-formed references are unrepresentable.
+- :mod:`repro.loader` -- the fused verifying loader: one decode pass
+  plus a residual rule sweep, lazy body decoding, and a verified-module
+  cache for warm/parallel loads.
 - :mod:`repro.interp` -- a reference interpreter for SafeTSA modules (the
   stand-in for the paper's dynamic code generator).
 - :mod:`repro.jvm` -- the Java-bytecode baseline: stack codegen, class-file
@@ -30,10 +33,10 @@ The package is organised as a complete producer/consumer toolchain:
 
 Typical use::
 
-    from repro import compile_source, encode_module, decode_module
+    from repro import compile_source, encode_module, load_module
     module = compile_source(JAVA_SOURCE, optimize=True)
     wire = encode_module(module)
-    received = decode_module(wire)
+    received = load_module(wire)  # fused decode + verify
 
     from repro.interp import Interpreter
     result = Interpreter(received).run_main()
@@ -44,6 +47,7 @@ from repro.api import (
     compile_to_bytecode,
     decode_module,
     encode_module,
+    load_module,
     run_module,
 )
 
@@ -52,6 +56,7 @@ __all__ = [
     "compile_to_bytecode",
     "decode_module",
     "encode_module",
+    "load_module",
     "run_module",
     "__version__",
 ]

@@ -12,8 +12,25 @@ convention:
   e.g. untransmittable unreachable blocks) and informational findings
   (provably-redundant checks the producer could eliminate).
 
-The full table lives in :data:`DIAGNOSTIC_CODES` and is documented in
-``docs/ANALYSIS.md``; tests assert the two stay in sync.
+The decoder's ``DEC-*`` rejection codes live in the same registry: the
+single source of truth is :data:`STABLE_CODES`, which maps every stable
+code to its ``(layer, severity, description)`` -- ``layer`` names the
+component that raises it (``decoder`` for the safety-by-construction
+checks inline in :mod:`repro.encode.deserializer` and the fused loader,
+``verifier`` for :mod:`repro.tsa.verifier` rejections, ``lint`` for the
+advisory findings).  :data:`DIAGNOSTIC_CODES` is the derived
+verifier/lint view that the diagnostic machinery consumes.  A raise
+site using an unregistered code fails the registry scan in
+``tests/test_loader.py``.
+
+Because the decoder rejects most ill-formed streams before the verifier
+ever sees an IR, one underlying defect can surface under a decoder code
+on the wire path and a verifier code on the in-memory path.  Those
+documented pairings live in :data:`CODE_ALIASES`; differential gates
+compare rejection codes modulo these classes.
+
+The verifier/lint table is documented in ``docs/ANALYSIS.md``; tests
+assert the two stay in sync.
 """
 
 from __future__ import annotations
@@ -35,101 +52,191 @@ class Severity:
         return Severity.ORDER.index(severity)
 
 
-#: code -> (severity, one-line description).  Stable: codes are never
-#: renumbered, only appended.
-DIAGNOSTIC_CODES: dict[str, tuple[str, str]] = {
+#: Components that reject or flag modules with stable codes.
+LAYER_DECODER = "decoder"
+LAYER_VERIFIER = "verifier"
+LAYER_LINT = "lint"
+
+LAYERS = (LAYER_DECODER, LAYER_VERIFIER, LAYER_LINT)
+
+#: The unified registry: code -> (layer, severity, one-line
+#: description).  Stable: codes are never renumbered, only appended.
+STABLE_CODES: dict[str, tuple[str, str, str]] = {
+    # ===== decoder layer: safety-by-construction rejections ===========
+    "DEC-IO": (LAYER_DECODER, Severity.ERROR,
+               "ran off the stream or symbol outside its bounded "
+               "alphabet"),
+    "DEC-MAGIC": (LAYER_DECODER, Severity.ERROR, "bad magic number"),
+    "DEC-LIMIT": (LAYER_DECODER, Severity.ERROR,
+                  "a declared count exceeds its sanity bound"),
+    "DEC-CST": (LAYER_DECODER, Severity.ERROR,
+                "ill-formed control structure tree"),
+    "DEC-EXC": (LAYER_DECODER, Severity.ERROR,
+                "exception discipline violated during decode"),
+    "DEC-REF": (LAYER_DECODER, Severity.ERROR,
+                "unresolvable value reference"),
+    "DEC-TRAP-REF": (LAYER_DECODER, Severity.ERROR,
+                     "reference to a trapping tail's result reachable "
+                     "through its exception edge"),
+    "DEC-TRAILING": (LAYER_DECODER, Severity.ERROR,
+                     "trailing data or nonzero padding after the "
+                     "module"),
+    "DEC-WORLD": (LAYER_DECODER, Severity.ERROR,
+                  "class-world validation failed during decode"),
+    "DEC-TABLE": (LAYER_DECODER, Severity.ERROR,
+                  "type-table validation failed during decode"),
+    "DEC-VALUE": (LAYER_DECODER, Severity.ERROR,
+                  "value-level validation failed during decode"),
+    "DEC-MALFORMED": (LAYER_DECODER, Severity.ERROR,
+                      "stream violates a decoder shape rule"),
+    # ===== verifier layer: well-formedness rejections =================
     # -- control structure / CFG ---------------------------------------
-    "STSA-CFG-001": (Severity.ERROR,
+    "STSA-CFG-001": (LAYER_VERIFIER, Severity.ERROR,
                      "the CST does not derive a consistent CFG"),
-    "STSA-CFG-002": (Severity.ERROR, "block has no terminator"),
-    "STSA-CFG-003": (Severity.ERROR,
+    "STSA-CFG-002": (LAYER_VERIFIER, Severity.ERROR, "block has no terminator"),
+    "STSA-CFG-003": (LAYER_VERIFIER, Severity.ERROR,
                      "block mixes normal and exception predecessors"),
     # -- referential integrity -----------------------------------------
-    "STSA-REF-001": (Severity.ERROR,
+    "STSA-REF-001": (LAYER_VERIFIER, Severity.ERROR,
                      "operand used before its definition in the same "
                      "block"),
-    "STSA-REF-002": (Severity.ERROR,
+    "STSA-REF-002": (LAYER_VERIFIER, Severity.ERROR,
                      "operand defined in a non-dominating block"),
-    "STSA-REF-003": (Severity.ERROR, "reference to an undefined value"),
+    "STSA-REF-003": (LAYER_VERIFIER, Severity.ERROR,
+                     "reference to an undefined value"),
+    "STSA-REF-004": (LAYER_VERIFIER, Severity.ERROR,
+                     "reference to a trapping tail's result reachable "
+                     "through its exception edge"),
     # -- phi discipline -------------------------------------------------
-    "STSA-PHI-001": (Severity.ERROR,
+    "STSA-PHI-001": (LAYER_VERIFIER, Severity.ERROR,
                      "phi operand count does not match predecessor "
                      "count"),
-    "STSA-PHI-002": (Severity.ERROR,
+    "STSA-PHI-002": (LAYER_VERIFIER, Severity.ERROR,
                      "phi operand on a different plane than the phi"),
-    "STSA-PHI-003": (Severity.ERROR,
+    "STSA-PHI-003": (LAYER_VERIFIER, Severity.ERROR,
                      "phi operand unavailable at the end of its "
                      "predecessor"),
     # -- type separation -------------------------------------------------
-    "STSA-TYP-001": (Severity.ERROR, "operand on the wrong register plane"),
-    "STSA-TYP-002": (Severity.ERROR,
+    "STSA-TYP-001": (LAYER_VERIFIER, Severity.ERROR, "operand on the wrong register plane"),
+    "STSA-TYP-002": (LAYER_VERIFIER, Severity.ERROR,
                      "operation unknown to the type's operation table"),
-    "STSA-TYP-003": (Severity.ERROR, "wrong operand arity"),
-    "STSA-TYP-004": (Severity.ERROR,
+    "STSA-TYP-003": (LAYER_VERIFIER, Severity.ERROR, "wrong operand arity"),
+    "STSA-TYP-004": (LAYER_VERIFIER, Severity.ERROR,
                      "result type absent from the type table"),
-    "STSA-TYP-005": (Severity.ERROR, "branch condition is not a boolean"),
-    "STSA-TYP-006": (Severity.ERROR,
+    "STSA-TYP-005": (LAYER_VERIFIER, Severity.ERROR, "branch condition is not a boolean"),
+    "STSA-TYP-006": (LAYER_VERIFIER, Severity.ERROR,
                      "return value does not match the signature"),
-    "STSA-TYP-007": (Severity.ERROR,
+    "STSA-TYP-007": (LAYER_VERIFIER, Severity.ERROR,
                      "throw operand not on the safe Throwable plane"),
-    "STSA-TYP-008": (Severity.ERROR, "illegal downcast between planes"),
-    "STSA-TYP-009": (Severity.ERROR,
+    "STSA-TYP-008": (LAYER_VERIFIER, Severity.ERROR, "illegal downcast between planes"),
+    "STSA-TYP-009": (LAYER_VERIFIER, Severity.ERROR,
                      "upcast must move between reference planes"),
-    "STSA-TYP-010": (Severity.ERROR, "nullcheck of a non-reference type"),
-    "STSA-TYP-011": (Severity.ERROR, "instanceof misuse"),
+    "STSA-TYP-010": (LAYER_VERIFIER, Severity.ERROR, "nullcheck of a non-reference type"),
+    "STSA-TYP-011": (LAYER_VERIFIER, Severity.ERROR, "instanceof misuse"),
     # -- exception discipline --------------------------------------------
-    "STSA-EXC-001": (Severity.ERROR,
+    "STSA-EXC-001": (LAYER_VERIFIER, Severity.ERROR,
                      "trapping instruction is not last in its subblock"),
-    "STSA-EXC-002": (Severity.ERROR,
+    "STSA-EXC-002": (LAYER_VERIFIER, Severity.ERROR,
                      "missing exception edge to the dispatch block"),
-    "STSA-EXC-003": (Severity.ERROR,
+    "STSA-EXC-003": (LAYER_VERIFIER, Severity.ERROR,
                      "subblock with a trapping tail must fall through"),
-    "STSA-EXC-004": (Severity.ERROR,
+    "STSA-EXC-004": (LAYER_VERIFIER, Severity.ERROR,
                      "caughtexc outside a dispatch block"),
-    "STSA-EXC-005": (Severity.ERROR,
+    "STSA-EXC-005": (LAYER_VERIFIER, Severity.ERROR,
                      "exception edge without an exception point"),
-    "STSA-EXC-006": (Severity.ERROR, "exception edge escapes its try"),
+    "STSA-EXC-006": (LAYER_VERIFIER, Severity.ERROR, "exception edge escapes its try"),
     # -- structural placement --------------------------------------------
-    "STSA-STR-001": (Severity.ERROR, "const outside the entry block"),
-    "STSA-STR-002": (Severity.ERROR, "param outside the entry block"),
-    "STSA-STR-003": (Severity.ERROR, "param index out of range"),
-    "STSA-STR-004": (Severity.ERROR,
+    "STSA-STR-001": (LAYER_VERIFIER, Severity.ERROR, "const outside the entry block"),
+    "STSA-STR-002": (LAYER_VERIFIER, Severity.ERROR, "param outside the entry block"),
+    "STSA-STR-003": (LAYER_VERIFIER, Severity.ERROR, "param index out of range"),
+    "STSA-STR-004": (LAYER_VERIFIER, Severity.ERROR,
                      "only 'this' may be pre-loaded on a safe plane"),
-    "STSA-STR-005": (Severity.ERROR,
+    "STSA-STR-005": (LAYER_VERIFIER, Severity.ERROR,
                      "reference constant with a non-null value"),
     # -- memory safety ----------------------------------------------------
-    "STSA-MEM-001": (Severity.ERROR,
+    "STSA-MEM-001": (LAYER_VERIFIER, Severity.ERROR,
                      "object operand not on the safe reference plane"),
-    "STSA-MEM-002": (Severity.ERROR, "static/instance field misuse"),
-    "STSA-MEM-003": (Severity.ERROR,
+    "STSA-MEM-002": (LAYER_VERIFIER, Severity.ERROR, "static/instance field misuse"),
+    "STSA-MEM-003": (LAYER_VERIFIER, Severity.ERROR,
                      "field or method unreachable in the tamper-proof "
                      "tables"),
-    "STSA-MEM-004": (Severity.ERROR, "setstatic of a final library field"),
-    "STSA-MEM-005": (Severity.ERROR,
+    "STSA-MEM-004": (LAYER_VERIFIER, Severity.ERROR, "setstatic of a final library field"),
+    "STSA-MEM-005": (LAYER_VERIFIER, Severity.ERROR,
                      "array operand not a safe array reference"),
-    "STSA-MEM-006": (Severity.ERROR,
+    "STSA-MEM-006": (LAYER_VERIFIER, Severity.ERROR,
                      "index not a safe index of the same array value"),
-    "STSA-MEM-007": (Severity.ERROR, "idxcheck result plane mismatch"),
+    "STSA-MEM-007": (LAYER_VERIFIER, Severity.ERROR, "idxcheck result plane mismatch"),
     # -- calls -------------------------------------------------------------
-    "STSA-CALL-001": (Severity.ERROR, "xdispatch of a static method"),
+    "STSA-CALL-001": (LAYER_VERIFIER, Severity.ERROR, "xdispatch of a static method"),
     # -- lint findings -----------------------------------------------------
-    "STSA-CFG-101": (Severity.WARNING,
+    "STSA-CFG-101": (LAYER_LINT, Severity.WARNING,
                      "unreachable block: never executed and not "
                      "transmitted"),
-    "STSA-PHI-101": (Severity.WARNING,
+    "STSA-PHI-101": (LAYER_LINT, Severity.WARNING,
                      "dead phi: no observable use reaches it"),
-    "STSA-NULL-101": (Severity.INFO,
+    "STSA-NULL-101": (LAYER_LINT, Severity.INFO,
                       "redundant nullcheck: the operand is provably "
                       "non-null on every path"),
-    "STSA-IDX-101": (Severity.INFO,
+    "STSA-IDX-101": (LAYER_LINT, Severity.INFO,
                      "redundant idxcheck: the index is provably in "
                      "bounds on every path"),
     # -- pipeline ----------------------------------------------------------
-    "STSA-PASS-001": (Severity.ERROR,
+    "STSA-PASS-001": (LAYER_VERIFIER, Severity.ERROR,
                       "optimisation pass left the function ill-formed"),
     # -- generic fallback --------------------------------------------------
-    "STSA-GEN-001": (Severity.ERROR, "unclassified well-formedness error"),
+    "STSA-GEN-001": (LAYER_VERIFIER, Severity.ERROR, "unclassified well-formedness error"),
 }
+
+#: Derived verifier/lint view consumed by the diagnostic machinery:
+#: code -> (severity, description), decoder codes excluded.
+DIAGNOSTIC_CODES: dict[str, tuple[str, str]] = {
+    code: (severity, description)
+    for code, (layer, severity, description) in STABLE_CODES.items()
+    if layer != LAYER_DECODER
+}
+
+#: Documented equivalence classes for differential verdict comparison:
+#: the same underlying defect surfaces under the decoder code on the
+#: wire path and under the verifier code on the in-memory path.  The
+#: decoder folds whole verifier rule families into one code because the
+#: offending construct is simply unrepresentable past that point.
+CODE_ALIASES: tuple[frozenset[str], ...] = (
+    frozenset({"DEC-TRAP-REF", "STSA-REF-004"}),
+    frozenset({"DEC-REF", "STSA-REF-001", "STSA-REF-002", "STSA-REF-003",
+               "STSA-PHI-003"}),
+    frozenset({"DEC-CST", "STSA-CFG-001", "STSA-CFG-002"}),
+    frozenset({"DEC-EXC", "STSA-CFG-003", "STSA-EXC-001", "STSA-EXC-002",
+               "STSA-EXC-003", "STSA-EXC-004", "STSA-EXC-005",
+               "STSA-EXC-006"}),
+    frozenset({"DEC-MALFORMED", "STSA-TYP-001", "STSA-TYP-002",
+               "STSA-TYP-003", "STSA-TYP-004", "STSA-TYP-005",
+               "STSA-TYP-006", "STSA-TYP-007", "STSA-TYP-008",
+               "STSA-TYP-009", "STSA-TYP-010", "STSA-TYP-011",
+               "STSA-STR-001", "STSA-STR-002", "STSA-STR-003",
+               "STSA-STR-004", "STSA-STR-005", "STSA-MEM-001",
+               "STSA-MEM-002", "STSA-MEM-003", "STSA-MEM-004",
+               "STSA-MEM-005", "STSA-MEM-006", "STSA-MEM-007",
+               "STSA-CALL-001"}),
+)
+
+
+def layer_of(code: str) -> str:
+    """The component that owns ``code`` (KeyError if unregistered)."""
+    return STABLE_CODES[code][0]
+
+
+def alias_class(code: str) -> frozenset[str]:
+    """The equivalence class of ``code`` (a singleton if unaliased)."""
+    for aliases in CODE_ALIASES:
+        if code in aliases:
+            return aliases
+    return frozenset({code})
+
+
+def codes_equivalent(left: str, right: str) -> bool:
+    """True iff the two rejection codes name the same defect modulo the
+    documented decoder/verifier aliasing."""
+    return left == right or right in alias_class(left)
 
 
 class Diagnostic:

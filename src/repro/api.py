@@ -52,6 +52,21 @@ def decode_module(data: bytes):
     return _decode(data)
 
 
+def load_module(data: bytes, *, lazy: bool = False,
+                jobs: Optional[int] = None):
+    """Load wire bytes through the fused verifying loader.
+
+    One pass decodes *and* verifies; repeat loads of the same bytes hit
+    the verified-module cache and skip the residual rule sweeps.
+    ``lazy=True`` defers each function body to first touch; ``jobs``
+    fans warm-load body decoding across N threads (0 = one per CPU).
+    Rejects exactly the streams :func:`decode_module` +
+    ``verify_module`` reject (see ``docs/LOADER.md``).
+    """
+    from repro.loader import load_module as _load
+    return _load(data, lazy=lazy, jobs=jobs)
+
+
 def run_module(module, main_class: Optional[str] = None,
                method: str = "main"):
     """Execute a module's entry point; returns an ExecutionResult."""

@@ -12,6 +12,7 @@ Usage::
     python -m repro.bench.runner analysis [--smoke] [--output PATH]
     python -m repro.bench.runner pipeline [--smoke] [--output PATH]
     python -m repro.bench.runner fuzz [--smoke] [--output PATH]
+    python -m repro.bench.runner load [--smoke] [--output PATH]
     python -m repro.bench.runner all
 
 ``codec`` times the wire codec and the compilation cache and writes the
@@ -22,7 +23,11 @@ seconds, parallel fan-out determinism) and writes
 ``BENCH_pipeline.json``; ``fuzz`` runs a deterministic differential +
 wire-mutation campaign and writes throughput plus the rejection
 taxonomy to ``BENCH_fuzz.json`` (and exits nonzero on any finding);
-``--smoke`` runs a reduced configuration (the CI setting).
+``load`` (E10) times the legacy two-pass consumer against the fused
+verifying loader's cold/warm/parallel/lazy paths per corpus artifact,
+writes ``BENCH_load.json``, and exits nonzero if the fused cold path
+stops beating two-pass; ``--smoke`` runs a reduced configuration (the
+CI setting).
 
 Timed sections run best-of-N with a warmup pass (``REPRO_BENCH_REPEATS``
 overrides N, default 3): the minimum over repeats is the standard
@@ -393,6 +398,30 @@ def run_fuzz(argv=()) -> str:
     return text
 
 
+def run_load(argv=()) -> str:
+    from repro.bench.load import load_report, load_table
+    smoke = "--smoke" in argv
+    output = "BENCH_load.json"
+    argv = [arg for arg in argv if arg != "--smoke"]
+    if "--output" in argv:
+        output = argv[argv.index("--output") + 1]
+    programs = ("BitSieve", "BinaryCode", "Scanner") if smoke else None
+    repeats = 2 if smoke else None
+    report = load_report(programs, repeats=repeats)
+    with open(output, "w") as handle:
+        json.dump(report, handle, indent=2)
+        handle.write("\n")
+    header = (f"load benchmark ({'smoke, ' if smoke else ''}"
+              f"{report['artifacts']} artifacts) -> {output}")
+    text = header + "\n\nE10: consumer-side load cost " \
+        "(two-pass vs fused loader)\n\n" + load_table(report)
+    if not report["guard"]["fused_cold_le_two_pass"]:
+        raise SystemExit(
+            text + "\nPERF GUARD: fused cold load is slower than the "
+            "two-pass decode+verify baseline")
+    return text
+
+
 COMMANDS = {
     "figure5": run_figure5,
     "figure6": run_figure6,
@@ -407,7 +436,8 @@ def main(argv=None) -> int:
     argv = argv if argv is not None else sys.argv[1:]
     if not argv or argv[0] not in list(COMMANDS) + ["all", "codec",
                                                     "analysis",
-                                                    "pipeline", "fuzz"]:
+                                                    "pipeline", "fuzz",
+                                                    "load"]:
         print(__doc__)
         return 2
     if argv[0] == "codec":
@@ -418,6 +448,8 @@ def main(argv=None) -> int:
         print(run_pipeline(argv[1:]))
     elif argv[0] == "fuzz":
         print(run_fuzz(argv[1:]))
+    elif argv[0] == "load":
+        print(run_load(argv[1:]))
     elif argv[0] == "all":
         for name, command in COMMANDS.items():
             print(command())
@@ -427,6 +459,8 @@ def main(argv=None) -> int:
         print(run_analysis(argv[1:]))
         print()
         print(run_pipeline(argv[1:]))
+        print()
+        print(run_load(argv[1:]))
     else:
         print(COMMANDS[argv[0]]())
     return 0

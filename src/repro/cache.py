@@ -110,6 +110,117 @@ class CompilationCache:
                 "entries": len(self._memory)}
 
 
+class VerifiedModuleCache:
+    """Remembers which wire streams already passed verification.
+
+    The fused loader keys on the SHA-256 of the exact wire bytes; a hit
+    records that those bytes decoded and verified cleanly once, plus the
+    per-function ``(start_bit, end_bit)`` body boundaries the sequential
+    decode observed.  A warm load then skips the residual verification
+    sweeps and can seek straight to individual bodies (lazy random
+    access, parallel ``--jobs N`` decode) -- seeks the format itself
+    cannot offer, having no length prefixes.
+
+    Entries are advisory, never load-bearing for soundness: the decode
+    itself still runs with every safety-by-construction check, so a
+    stale or corrupted entry can produce a ``DecodeError`` but never an
+    unsound module (the same guarantee :class:`CompilationCache`
+    documents).  Boundaries are re-checked against the stream end on
+    use.
+    """
+
+    def __init__(self, cache_dir: Optional[str] = None):
+        self._memory: dict[str, list[tuple[int, int]]] = {}
+        self._dir = Path(cache_dir) if cache_dir else None
+        self.hits = 0
+        self.misses = 0
+
+    @staticmethod
+    def key(wire: bytes) -> str:
+        """Content address of one distribution unit: its exact bytes."""
+        hasher = hashlib.sha256()
+        hasher.update(FORMAT_VERSION.encode())
+        hasher.update(b"\x00verified\x00")
+        hasher.update(wire)
+        return hasher.hexdigest()
+
+    def get(self, key: str) -> Optional[list[tuple[int, int]]]:
+        boundaries = self._memory.get(key)
+        if boundaries is None and self._dir is not None:
+            path = self._dir / f"{key}.verified"
+            if path.is_file():
+                boundaries = self._parse(path.read_text())
+                if boundaries is not None:
+                    self._memory[key] = boundaries
+        if boundaries is None:
+            self.misses += 1
+            return None
+        self.hits += 1
+        return boundaries
+
+    def put(self, key: str, boundaries: list[tuple[int, int]]) -> None:
+        self._memory[key] = list(boundaries)
+        if self._dir is not None:
+            self._dir.mkdir(parents=True, exist_ok=True)
+            text = FORMAT_VERSION + "\n" + "".join(
+                f"{start} {end}\n" for start, end in boundaries)
+            fd, temp = tempfile.mkstemp(dir=self._dir, suffix=".tmp")
+            try:
+                with os.fdopen(fd, "w") as handle:
+                    handle.write(text)
+                os.replace(temp, self._dir / f"{key}.verified")
+            except BaseException:
+                try:
+                    os.unlink(temp)
+                except OSError:
+                    pass
+                raise
+
+    @staticmethod
+    def _parse(text: str) -> Optional[list[tuple[int, int]]]:
+        lines = text.splitlines()
+        if not lines or lines[0] != FORMAT_VERSION:
+            return None  # other format version: treat as a miss
+        try:
+            boundaries = []
+            for line in lines[1:]:
+                start, end = line.split()
+                boundaries.append((int(start), int(end)))
+            return boundaries
+        except ValueError:
+            return None  # damaged entry: miss, the cold path re-runs
+
+    def clear(self) -> None:
+        self._memory.clear()
+        self.hits = 0
+        self.misses = 0
+        if self._dir is not None and self._dir.is_dir():
+            for path in self._dir.glob("*.verified"):
+                path.unlink(missing_ok=True)
+
+    def __len__(self) -> int:
+        return len(self._memory)
+
+    def __bool__(self) -> bool:
+        return True  # an empty cache is still an enabled cache
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def stats(self) -> dict:
+        return {"hits": self.hits, "misses": self.misses,
+                "hit_rate": round(self.hit_rate, 4),
+                "entries": len(self._memory)}
+
+
+def default_module_cache() -> Optional[VerifiedModuleCache]:
+    """The process-wide verified-module cache, enabled alongside the
+    compilation cache by ``REPRO_CACHE_DIR`` ("" for memory-only)."""
+    return _DEFAULT_MODULES
+
+
 def default_cache() -> Optional[CompilationCache]:
     """The process-wide cache, enabled by ``REPRO_CACHE_DIR`` ("" for
     memory-only) or by :func:`enable_default_cache`."""
@@ -131,4 +242,12 @@ def _from_environment() -> Optional[CompilationCache]:
     return CompilationCache(configured or None)
 
 
+def _modules_from_environment() -> Optional[VerifiedModuleCache]:
+    configured = os.environ.get("REPRO_CACHE_DIR")
+    if configured is None:
+        return None
+    return VerifiedModuleCache(configured or None)
+
+
 _DEFAULT: Optional[CompilationCache] = _from_environment()
+_DEFAULT_MODULES: Optional[VerifiedModuleCache] = _modules_from_environment()

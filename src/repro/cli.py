@@ -10,7 +10,7 @@ Subcommands::
     repro-cc lint    FILE.java|FILE.stsa [--json] [--optimize]
     repro-cc stats   FILE.java
     repro-cc bench   figure5|figure6|pruning|ablation|verifycost|codec|
-                     analysis|pipeline|fuzz|all
+                     analysis|pipeline|fuzz|load|all
     repro-cc fuzz    [--seed S] [--budget N] [--mode programs|streams|all]
                      [--fixtures DIR] [--json PATH] [--no-minimize] [-q]
 """
@@ -23,12 +23,14 @@ from pathlib import Path
 
 
 def _load_module(path: str, optimize: bool, prune: bool = True,
-                 passes=None, jobs=None):
-    from repro.encode.deserializer import decode_module
+                 passes=None, jobs=None, lazy: bool = False):
+    from repro.loader import load_module
     from repro.pipeline import compile_to_module
     data = Path(path).read_bytes()
     if path.endswith((".stsa", ".bin")):
-        return decode_module(data)
+        # the fused verifying loader: one decode pass plus the residual
+        # sweep, warm loads via the verified-module cache
+        return load_module(data, lazy=lazy, jobs=jobs)
     return compile_to_module(data.decode("utf-8"), optimize=optimize,
                              prune_phis=prune, filename=path,
                              passes=passes, jobs=jobs)
@@ -63,7 +65,8 @@ def cmd_compile(args) -> int:
 
 def cmd_run(args) -> int:
     from repro.interp.interpreter import Interpreter
-    module = _load_module(args.file, args.optimize)
+    module = _load_module(args.file, args.optimize, jobs=args.jobs,
+                          lazy=args.lazy)
     interp = Interpreter(module, max_steps=args.max_steps)
     result = interp.run_main(getattr(args, "class"))
     sys.stdout.write(result.stdout)
@@ -202,6 +205,12 @@ def main(argv=None) -> int:
                    help="class whose main to run")
     p.add_argument("--optimize", action="store_true")
     p.add_argument("--max-steps", type=int, default=200_000_000)
+    p.add_argument("--lazy", action="store_true",
+                   help="decode .stsa function bodies on first touch")
+    p.add_argument("--jobs", type=int, default=None, metavar="N",
+                   help="decode .stsa bodies across N threads on warm "
+                        "loads (0 = one per CPU); for .java inputs, "
+                        "optimize across N threads")
     p.set_defaults(fn=cmd_run)
 
     p = sub.add_parser("disasm", help="print SafeTSA disassembly")
@@ -232,7 +241,7 @@ def main(argv=None) -> int:
     p.add_argument("table", choices=["figure5", "figure6", "pruning",
                                      "ablation", "verifycost",
                                      "jitspeed", "codec", "analysis",
-                                     "pipeline", "fuzz", "all"])
+                                     "pipeline", "fuzz", "load", "all"])
     p.set_defaults(fn=cmd_bench)
 
     p = sub.add_parser(

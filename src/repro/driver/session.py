@@ -16,8 +16,9 @@ duplicated between ``compile_to_module`` and ``compile_to_classfiles``:
 * the **compilation cache** -- the key covers the *pass spec* (not just
   the historical three booleans), so differently optimised artifacts
   can never alias;
-* **stage timing** (``parse`` / ``ssa`` / ``opt``, ``decode`` on a
-  cache hit) and collected diagnostics.
+* **stage timing** (``parse`` / ``ssa`` / ``opt``, ``load`` on a
+  cache hit -- the fused-loader consumer path) and collected
+  diagnostics.
 
 Per-function optimisation can fan out across a thread pool
 (``jobs=``): functions are independent, the analysis cache is
@@ -194,15 +195,29 @@ class CompilationSession:
         if key is not None:
             wire = self._cache.get(key)
             if wire is not None:
-                from repro.encode.deserializer import decode_module
-                start = perf_counter()
-                module = decode_module(wire)
-                self._credit("decode", start)
-                return module
+                return self.load(wire)
         module = self.build_module(source)
         self.optimize(module)
         if key is not None:
             self._cache.put(key, self.encode(module))
+        return module
+
+    # -- consumer pipeline ----------------------------------------------
+
+    def load(self, wire: bytes, *, lazy: bool = False):
+        """Fused verifying load of encoded module bytes.
+
+        The session's ``jobs`` setting fans warm-load body decoding out
+        across threads exactly as it does per-function optimisation;
+        ``lazy=True`` defers each body to first touch.  Sessions with
+        caching disabled load without the verified-module cache too.
+        """
+        from repro.loader import load_module
+        start = perf_counter()
+        module = load_module(wire, lazy=lazy, jobs=self.jobs,
+                             cache=None if self._cache is not None
+                             else False)
+        self._credit("load", start)
         return module
 
     def compile_to_classfiles(self, source: str):

@@ -131,13 +131,35 @@ class BitWriter:
 
 
 class BitReader:
-    """Reads the codes written by :class:`BitWriter`."""
+    """Reads the codes written by :class:`BitWriter`.
 
-    def __init__(self, data: bytes):
+    ``start_bit`` positions the reader mid-stream; the module loader
+    uses it to jump straight to a function body whose bit boundaries a
+    previous sequential decode recorded (lazy and parallel loading).
+    It is a read-side affordance only -- the wire format itself has no
+    length prefixes and is unchanged.
+    """
+
+    def __init__(self, data: bytes, start_bit: int = 0):
         self._data = data
         self._byte_pos = 0  # next byte to pull into the accumulator
         self._acc = 0       # the next _nacc bits, MSB-first
         self._nacc = 0
+        if start_bit:
+            if not 0 <= start_bit <= len(data) * 8:
+                raise BitIOError(f"start bit {start_bit} outside the "
+                                 "stream")
+            self._byte_pos = start_bit >> 3
+            rest = start_bit & 7
+            if rest:
+                # accumulate the tail of the straddled byte
+                self._acc = data[self._byte_pos] & ((1 << (8 - rest)) - 1)
+                self._nacc = 8 - rest
+                self._byte_pos += 1
+
+    def bit_position(self) -> int:
+        """The number of bits consumed so far (the read cursor)."""
+        return self._byte_pos * 8 - self._nacc
 
     def _refill(self, need: int) -> None:
         """Grow the accumulator to at least ``need`` bits."""

@@ -83,11 +83,46 @@ class DecodeError(Exception):
     ``DEC-MALFORMED`` for the remaining shape rules.  The fuzzing
     rejection taxonomy and the attack-fixture manifest key on these
     codes, so they must stay stable.
+
+    Mid-function rejections additionally carry a ``(function, block,
+    instr)`` location the way :class:`repro.tsa.verifier.VerifyError`
+    does -- ``function`` is the method's qualified name, ``block`` the
+    SafeTSA block id, and ``instr`` the *index* of the instruction
+    within its block (value ids are not stable mid-decode), so fuzz
+    minimization and the fused loader report comparable locations.
     """
 
-    def __init__(self, message: str, code: str = "DEC-MALFORMED"):
+    def __init__(self, message: str, code: str = "DEC-MALFORMED", *,
+                 function: Optional[str] = None,
+                 block: Optional[int] = None,
+                 instr: Optional[int] = None):
         self.code = code
+        self.function = function
+        self.block = block
+        self.instr = instr
         super().__init__(f"{message} [{code}]")
+
+    def attach(self, function: Optional[str] = None,
+               block: Optional[int] = None,
+               instr: Optional[int] = None) -> None:
+        """Fill in location fields that are still unknown (an inner
+        raise site that already knows its location wins)."""
+        if self.function is None:
+            self.function = function
+        if self.block is None:
+            self.block = block
+        if self.instr is None:
+            self.instr = instr
+
+    def location(self) -> str:
+        parts = []
+        if self.function is not None:
+            parts.append(self.function)
+        if self.block is not None:
+            parts.append(f"B{self.block}")
+        if self.instr is not None:
+            parts.append(f"i{self.instr}")
+        return ":".join(parts) or "<module>"
 
 
 def _read_utf8(reader: BitReader) -> str:
@@ -102,12 +137,26 @@ def _read_utf8(reader: BitReader) -> str:
 
 class _ModuleDecoder:
     def __init__(self, data: bytes):
+        self.data = data
         self.reader = BitReader(data)
         self.world = World()
         self.table = TypeTable(self.world)
         self.module = Module(self.world, self.table)
+        #: per decoded body, ``(start_bit, end_bit)`` in the stream --
+        #: a read-side index only (the format has no length prefixes);
+        #: the loader persists it so warm loads can seek to one body
+        self.boundaries: list[tuple[int, int]] = []
 
     def decode(self) -> Module:
+        bodies = self.decode_header()
+        self._decode_bodies(bodies)
+        self._require_end()
+        return self.module
+
+    def decode_header(self) -> list[MethodInfo]:
+        """Decode everything up to (not including) the function bodies:
+        magic, type table, hierarchy, member tables.  Returns the
+        methods whose bodies follow, in stream order."""
         reader = self.reader
         if reader.read_bytes(len(MAGIC)) != MAGIC:
             raise DecodeError("bad magic", "DEC-MAGIC")
@@ -150,11 +199,27 @@ class _ModuleDecoder:
         self.world.link()
         self.table.invalidate_member_tables()
         self.module.classes = class_infos
+        return bodies
+
+    def _decode_bodies(self, bodies: list[MethodInfo]) -> None:
         for method in bodies:
-            function = _FunctionDecoder(self, method).decode()
-            self.module.add_function(function)
-        self._require_end()
-        return self.module
+            self.module.add_function(self._decode_body(method))
+
+    def _decode_body(self, method: MethodInfo) -> Function:
+        start = self.reader.bit_position()
+        decoder = self._function_decoder(method)
+        function = decoder.decode()
+        self.boundaries.append((start, self.reader.bit_position()))
+        self._on_function(decoder, function)
+        return function
+
+    def _function_decoder(self, method: MethodInfo,
+                          reader: Optional[BitReader] = None):
+        """Hook: the fused loader substitutes its verifying subclass."""
+        return _FunctionDecoder(self, method, reader)
+
+    def _on_function(self, decoder, function: Function) -> None:
+        """Hook: called after each body decodes (fused residual checks)."""
 
     def _require_end(self) -> None:
         """The stream must be fully consumed (only zero padding to the
@@ -222,8 +287,11 @@ class _ModuleDecoder:
 
 
 class _FunctionDecoder:
-    def __init__(self, parent: _ModuleDecoder, method: MethodInfo):
-        self.reader = parent.reader
+    def __init__(self, parent: _ModuleDecoder, method: MethodInfo,
+                 reader: Optional[BitReader] = None):
+        # a private reader lets the loader decode bodies off worker
+        # threads, each seeking to its own recorded boundary
+        self.reader = parent.reader if reader is None else reader
         self.world = parent.world
         self.table = parent.table
         self.module = parent.module
@@ -232,10 +300,37 @@ class _FunctionDecoder:
         #: block id -> plane -> list of value instrs, in register order
         self.planes: dict[int, dict[Plane, list[Instr]]] = {}
         self._defined: dict[Plane, int] = {}
+        # incremental dominator scopes: per block, the per-plane chain
+        # of (registers, parent-node) segments visible at its end, and
+        # the per-plane visible-register counts -- maintained along the
+        # dominator tree so references cost O(defining ancestors on the
+        # plane) instead of two walks over the whole idom chain
+        self._chains: dict[int, dict[Plane, tuple]] = {}
+        self._counts: dict[int, dict[Plane, int]] = {}
+        self._chain: dict[Plane, tuple] = {}
+        self._inherited_chain: dict[Plane, tuple] = {}
+        self._entry_counts: dict[Plane, int] = {}
+        self._current_block: Optional[Block] = None
+        # error-location context (mirrors VerifyError's location)
+        self._ctx_block: Optional[int] = None
+        self._ctx_instr: Optional[int] = None
 
     # ==================================================================
 
     def decode(self) -> Function:
+        try:
+            return self._decode()
+        except DecodeError as error:
+            error.attach(function=self.function.name,
+                         block=self._ctx_block, instr=self._ctx_instr)
+            raise
+        except BitIOError as error:
+            raise DecodeError(str(error), "DEC-IO",
+                              function=self.function.name,
+                              block=self._ctx_block,
+                              instr=self._ctx_instr) from None
+
+    def _decode(self) -> Function:
         try:
             cst = self._decode_region(break_depth=0, loop_depth=0,
                                       in_try=False)
@@ -257,8 +352,11 @@ class _FunctionDecoder:
         self.dispatch_of = map_exception_contexts(cst)
         for block in self.domtree.preorder:
             self._decode_block(block)
+        self._current_block = None
         for block in self.domtree.preorder:
+            self._ctx_block, self._ctx_instr = block.id, None
             self._decode_phi_operands(block)
+        self._ctx_block = self._ctx_instr = None
         return self.function
 
     # -- phase 1 -----------------------------------------------------------
@@ -363,23 +461,39 @@ class _FunctionDecoder:
 
     def _resolve_ref(self, block: Block, plane: Plane,
                      defined: int) -> Instr:
-        """Read one (flattened) value reference on ``plane``."""
-        alphabet = defined
-        current: Optional[Block] = self.domtree.idom.get(block)
-        while current is not None:
-            alphabet += len(self.planes.get(current.id, {}).get(plane, ()))
-            current = self.domtree.idom.get(current)
+        """Read one (flattened) value reference on ``plane``.
+
+        The alphabet size and the register lookup come from the scope
+        chains maintained incrementally along the dominator tree --
+        same alphabet values (hence identical symbol widths) as the
+        seed decoder's double idom-chain walk, but each reference now
+        costs only the ancestors that actually define on the plane."""
+        if block is self._current_block:
+            # phase 2: the block being decoded; its own registers are
+            # counted by ``defined``, the ancestors by the entry counts
+            alphabet = self._entry_counts.get(plane, 0) + defined
+            chain = self._chain
+        else:
+            # phase 3 (phi operands at a predecessor): the block is
+            # fully decoded, so its end-of-block counts are recorded.
+            # An unreachable predecessor has no record: its alphabet is
+            # just ``defined`` (always 0), as in the seed decoder.
+            counts = self._counts.get(block.id)
+            alphabet = counts.get(plane, 0) if counts is not None \
+                else defined
+            chain = self._chains.get(block.id, {})
         index = self.reader.read_bounded(alphabet)
         if index < defined:
             return self.planes[block.id][plane][index]
         index -= defined
-        current = self.domtree.idom.get(block)
-        while current is not None:
-            regs = self.planes.get(current.id, {}).get(plane, ())
+        node = chain.get(plane)
+        if defined and node is not None:
+            node = node[1]  # skip the block's own segment
+        while node is not None:
+            regs, node = node
             if index < len(regs):
                 return self._check_trap_visibility(block, regs[index])
             index -= len(regs)
-            current = self.domtree.idom.get(current)
         raise DecodeError("unresolvable value reference", "DEC-REF")
 
     def _check_trap_visibility(self, use_block: Block,
@@ -402,17 +516,38 @@ class _FunctionDecoder:
 
     def _record(self, block: Block, instr: Instr) -> Instr:
         block.append(instr)
-        if instr.plane is not None:
-            regs = self.planes[block.id].setdefault(instr.plane, [])
+        plane = instr.plane
+        if plane is not None:
+            regs = self.planes[block.id].setdefault(plane, [])
+            if not regs:
+                # first definition on this plane here: push the block's
+                # own segment onto a copy-on-write chain
+                chain = self._chain
+                if chain is self._inherited_chain:
+                    chain = self._chain = dict(chain)
+                    self._chains[block.id] = chain
+                chain[plane] = (regs, self._inherited_chain.get(plane))
             regs.append(instr)
-            self._defined[instr.plane] = self._defined.get(instr.plane,
-                                                           0) + 1
+            self._defined[plane] = self._defined.get(plane, 0) + 1
         return instr
 
     def _decode_block(self, block: Block) -> None:
         reader = self.reader
         self.planes[block.id] = {}
         self._defined = {}
+        self._current_block = block
+        self._ctx_block, self._ctx_instr = block.id, None
+        parent = self.domtree.idom.get(block)
+        if parent is None:
+            inherited_chain: dict[Plane, tuple] = {}
+            inherited_counts: dict[Plane, int] = {}
+        else:
+            inherited_chain = self._chains[parent.id]
+            inherited_counts = self._counts[parent.id]
+        self._inherited_chain = inherited_chain
+        self._chain = inherited_chain  # copied on the first definition
+        self._chains[block.id] = inherited_chain
+        self._entry_counts = inherited_counts
         phi_count = reader.read_gamma()
         if phi_count > 1 << 16:
             raise DecodeError("unreasonable phi count", "DEC-LIMIT")
@@ -428,6 +563,7 @@ class _FunctionDecoder:
         dispatch = self.dispatch_of.get(block.id)
         exc_edge = block.exc_succ()
         for position in range(instr_count):
+            self._ctx_instr = position
             instr = self._decode_instr(block)
             if instr.traps and dispatch is not None:
                 if position != instr_count - 1:
@@ -460,6 +596,13 @@ class _FunctionDecoder:
             term.value = self._ref(
                 block, Plane.safe(ClassType("java.lang.Throwable")))
             term.value.users.add(ir._TermUse(term))
+        if self._defined:
+            counts = dict(inherited_counts)
+            for plane, defined in self._defined.items():
+                counts[plane] = counts.get(plane, 0) + defined
+        else:
+            counts = inherited_counts  # nothing defined: share the dict
+        self._counts[block.id] = counts
 
     def _decode_instr(self, block: Block) -> Instr:
         opcode = OPCODES[self.reader.read_bounded(len(OPCODES))]

@@ -101,20 +101,19 @@ class Interpreter:
 
     def _find_main(self, class_name: Optional[str],
                    method_name: str) -> Function:
-        candidates = []
-        for method, function in self.module.functions.items():
+        # iterate keys only: under a lazy load, touching .items() would
+        # force every body just to find one entry point
+        for method in self.module.functions:
             if method.name != method_name or not method.is_static:
                 continue
             if class_name is not None and \
                     method.declaring.name.split(".")[-1] != \
                     class_name.split(".")[-1]:
                 continue
-            candidates.append(function)
-        if not candidates:
-            raise InterpreterError(
-                f"no static {method_name} method found"
-                + (f" in {class_name}" if class_name else ""))
-        return candidates[0]
+            return self.module.functions[method]
+        raise InterpreterError(
+            f"no static {method_name} method found"
+            + (f" in {class_name}" if class_name else ""))
 
     def _ensure_initialized(self) -> None:
         """Run every <clinit> once, in class declaration order."""

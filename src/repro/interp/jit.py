@@ -80,14 +80,15 @@ class JitCompiler:
     def run_main(self, class_name: Optional[str] = None,
                  method_name: str = "main") -> ExecutionResult:
         target = None
-        for method, function in self.module.functions.items():
+        # key-only iteration keeps a lazily loaded module lazy
+        for method in self.module.functions:
             if method.name != method_name or not method.is_static:
                 continue
             if class_name is not None and \
                     method.declaring.name.split(".")[-1] != \
                     class_name.split(".")[-1]:
                 continue
-            target = function
+            target = self.module.functions[method]
             break
         if target is None:
             raise JitError(f"no static {method_name} found")

@@ -368,3 +368,9 @@ def verify_class(world: World, compiled_class) -> int:
     for method in compiled_class.methods:
         steps += verify_method(world, method)
     return steps
+
+
+def verify_classfile_set(world: World, classes) -> int:
+    """Verify a whole compiled unit (the bytecode-baseline analogue of
+    one SafeTSA module load); returns the total abstract-step count."""
+    return sum(verify_class(world, compiled) for compiled in classes)

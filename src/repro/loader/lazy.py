@@ -1,0 +1,190 @@
+"""Lazy per-function body decoding.
+
+A lazy load decodes the module header eagerly -- magic, type table,
+class hierarchy, member tables -- so the world and every signature are
+fully linked and trustworthy before any body is touched.  The
+``module.functions`` mapping is then a :class:`LazyFunctions` view:
+iteration, length, and membership work off the member tables alone,
+while fetching a value decodes (and verifies) that function's body on
+demand.
+
+What is guaranteed before first touch: the header passed every decode
+check, so types, the hierarchy, and method signatures are sound; the
+set of methods-with-bodies is exact.  What is *not* yet checked: the
+body bits themselves -- a first touch can therefore raise
+``DecodeError``/``VerifyError`` (with full location context), and on a
+cold load the stream's trailing-padding rule (``DEC-TRAILING``) is only
+enforced once the last body has been materialized.
+
+The wire format has no length prefixes, so a *cold* lazy load is
+prefix-lazy: touching function *k* materializes bodies ``0..k`` (each
+residual-checked as it lands).  Once all bodies have decoded, the
+observed boundary index is published to the verified-module cache; a
+*warm* lazy load reuses that index for true random access -- touch one
+function, decode one body -- and skips the residual sweeps, with the
+trailing check hoisted to load time (the index pins the stream end).
+"""
+
+from __future__ import annotations
+
+import threading
+from collections.abc import MutableMapping
+from typing import Optional
+
+from repro.encode.bitio import BitReader
+from repro.encode.deserializer import DecodeError
+from repro.loader.fused import (
+    Boundaries,
+    FusedDecoder,
+    _decode_errors,
+    _plausible,
+    _ResidualChecker,
+)
+from repro.ssa.ir import Function, Module
+
+
+class _LazyState:
+    """Shared decode state behind one :class:`LazyFunctions` view."""
+
+    def __init__(self, loader, decoder: FusedDecoder, bodies,
+                 boundaries: Optional[Boundaries], key: Optional[str]):
+        self.loader = loader
+        self.decoder = decoder
+        self.bodies = bodies                  # MethodInfo, stream order
+        self.position = {m: i for i, m in enumerate(bodies)}
+        self.boundaries = boundaries          # trusted index, or None
+        self.key = key
+        self.lock = threading.RLock()
+        self.decoded: list[Optional[Function]] = [None] * len(bodies)
+        self.prefix = 0                       # cold: bodies decoded so far
+        self.error: Optional[BaseException] = None
+
+    def materialize(self, method) -> Function:
+        with self.lock:
+            if self.error is not None:
+                # the stream is mid-body garbage after a failure; every
+                # later touch reports the same rejection
+                raise self.error
+            index = self.position[method]
+            if self.decoded[index] is None:
+                try:
+                    if self.boundaries is not None:
+                        self._decode_at(index)
+                    else:
+                        self._decode_prefix(index)
+                except Exception as error:
+                    self.error = error
+                    raise
+            return self.decoded[index]
+
+    # -- warm: random access off the trusted boundary index ------------
+
+    def _decode_at(self, index: int) -> None:
+        decoder = self.decoder
+        start, end = self.boundaries[index]
+        with _decode_errors():
+            reader = BitReader(decoder.data, start_bit=start)
+            function = decoder._function_decoder(
+                self.bodies[index], reader).decode()
+            if reader.bit_position() != end:
+                raise DecodeError("cached body boundary mismatch",
+                                  "DEC-MALFORMED")
+        self.decoded[index] = function
+
+    # -- cold: sequential prefix decode, residual-checked per body -----
+
+    def _decode_prefix(self, index: int) -> None:
+        decoder = self.decoder
+        while self.prefix <= index:
+            method = self.bodies[self.prefix]
+            with _decode_errors():
+                function = decoder._decode_body(method)
+            fn, domtree, dispatch_of = decoder.contexts[-1]
+            _ResidualChecker(decoder.module, fn, domtree,
+                             dispatch_of).verify()
+            self.decoded[self.prefix] = function
+            self.prefix += 1
+        if self.prefix == len(self.bodies):
+            with _decode_errors():
+                decoder._require_end()
+            cache, key = self.loader.cache, self.key
+            if cache is not None and key is not None:
+                cache.put(key, decoder.boundaries)
+            self.loader.boundaries = decoder.boundaries
+            self.loader.verified = True
+
+
+class LazyFunctions(MutableMapping):
+    """``module.functions`` for a lazily loaded module.
+
+    Keys (the :class:`MethodInfo` of every method with a body, in
+    stream order), length, and membership are available without any
+    body decoding; ``[]``/``get``/``values()``/``items()`` materialize
+    bodies on demand.
+    """
+
+    def __init__(self, state: _LazyState):
+        self._state = state
+        self._order = list(state.bodies)
+        self._functions: dict = {}
+
+    def __getitem__(self, method) -> Function:
+        function = self._functions.get(method)
+        if function is not None:
+            return function
+        if method not in self._state.position:
+            raise KeyError(method)
+        return self._state.materialize(method)
+
+    def __setitem__(self, method, function) -> None:
+        if method not in self._functions \
+                and method not in self._state.position:
+            self._order.append(method)
+        self._functions[method] = function
+
+    def __delitem__(self, method) -> None:
+        self._order.remove(method)  # raises ValueError if absent
+        self._functions.pop(method, None)
+        self._state.position.pop(method, None)
+
+    def __iter__(self):
+        return iter(self._order)
+
+    def __len__(self) -> int:
+        return len(self._order)
+
+    def __contains__(self, method) -> bool:
+        return method in self._functions or method in self._state.position
+
+    def materialize_all(self) -> None:
+        """Force every pending body (cold: also runs the trailing
+        check and publishes the boundary index)."""
+        for method in self._order:
+            self[method]
+
+
+def lazy_load(loader, key: Optional[str],
+              boundaries: Optional[Boundaries]) -> Module:
+    """Decode the header now, leave the bodies to first touch."""
+    decoder = FusedDecoder(loader.data)
+    with _decode_errors():
+        bodies = decoder.decode_header()
+        header_end = decoder.reader.bit_position()
+        if boundaries is not None and _plausible(
+                boundaries, bodies, header_end, len(loader.data) * 8):
+            # trusted index: pin the stream end now so even a partial
+            # consumer sees DEC-TRAILING violations at load time
+            loader.cache_hit = True
+            loader.boundaries = boundaries
+            end = boundaries[-1][1] if boundaries else header_end
+            tail_reader = BitReader(loader.data, start_bit=end)
+            saved, decoder.reader = decoder.reader, tail_reader
+            decoder._require_end()
+            decoder.reader = saved
+        else:
+            boundaries = None
+            if not bodies:  # nothing to defer behind
+                decoder._require_end()
+    state = _LazyState(loader, decoder, bodies, boundaries, key)
+    decoder.module.functions = LazyFunctions(state)
+    return decoder.module

@@ -70,8 +70,9 @@ def compile_to_module(source: str, *, optimize: bool = False,
     self-validating consumer path.
 
     ``stage_seconds`` is an optional mutable mapping; wall-clock seconds
-    for the ``parse``, ``ssa`` and ``opt`` stages (and ``decode`` on a
-    cache hit) are accumulated into it.
+    for the ``parse``, ``ssa`` and ``opt`` stages (and ``load`` on a
+    cache hit -- the fused-loader consumer path) are accumulated into
+    it.
 
     ``jobs`` fans per-function optimisation out across a thread pool
     (None/1 serial, 0 one worker per CPU); the result is
