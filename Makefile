@@ -6,7 +6,7 @@ PYTHON ?= python3
 export PYTHONPATH := src:$(PYTHONPATH)
 
 .PHONY: test bench bench-smoke bench-analysis bench-pipeline bench-load \
-	fuzz-smoke lint-corpus tables examples all clean
+	bench-loops fuzz-smoke lint-corpus tables examples all clean
 
 test:
 	$(PYTHON) -m pytest tests/ -q
@@ -33,6 +33,12 @@ bench-pipeline:
 # fails if the fused cold path stops beating the two-pass baseline.
 bench-load:
 	$(PYTHON) -m repro.bench.runner load --smoke
+
+# Loop-tier benchmark: dynamic check counts per pipeline over the
+# loop-heavy corpus; writes BENCH_loops.json and fails unless the loop
+# tier (hoist_checks,licm) strictly reduces executed checks.
+bench-loops:
+	$(PYTHON) -m repro.bench.runner loops --smoke
 
 # Deterministic fuzzing smoke: differential oracle over generated
 # programs + wire-stream mutation under a fixed seed (~30 s); writes

@@ -82,6 +82,12 @@ def _range(function: Function):
     return analyze_ranges(function)
 
 
+@register_analysis("loops")
+def _loops(function: Function):
+    from repro.analysis.loops import find_loops
+    return find_loops(function)
+
+
 class AnalysisManager:
     """Per-function cache of analysis results with hit accounting.
 

@@ -13,6 +13,7 @@ Usage::
     python -m repro.bench.runner pipeline [--smoke] [--output PATH]
     python -m repro.bench.runner fuzz [--smoke] [--output PATH]
     python -m repro.bench.runner load [--smoke] [--output PATH]
+    python -m repro.bench.runner loops [--smoke] [--output PATH]
     python -m repro.bench.runner all
 
 ``codec`` times the wire codec and the compilation cache and writes the
@@ -26,8 +27,12 @@ taxonomy to ``BENCH_fuzz.json`` (and exits nonzero on any finding);
 ``load`` (E10) times the legacy two-pass consumer against the fused
 verifying loader's cold/warm/parallel/lazy paths per corpus artifact,
 writes ``BENCH_load.json``, and exits nonzero if the fused cold path
-stops beating two-pass; ``--smoke`` runs a reduced configuration (the
-CI setting).
+stops beating two-pass; ``loops`` compares the loop tier (preheaders,
+LICM, check hoisting) against no optimisation and the default pipeline
+on the loop-heavy corpus, writes ``BENCH_loops.json``, and exits
+nonzero unless the tier alone strictly reduces dynamic checks and the
+full pipeline with the tier never regresses the default; ``--smoke``
+runs a reduced configuration (the CI setting).
 
 Timed sections run best-of-N with a warmup pass (``REPRO_BENCH_REPEATS``
 overrides N, default 3): the minimum over repeats is the standard
@@ -422,6 +427,36 @@ def run_load(argv=()) -> str:
     return text
 
 
+def run_loops(argv=()) -> str:
+    from repro.bench.loops import loops_report, loops_table
+    smoke = "--smoke" in argv
+    output = "BENCH_loops.json"
+    argv = [arg for arg in argv if arg != "--smoke"]
+    if "--output" in argv:
+        output = argv[argv.index("--output") + 1]
+    # smoke drops Linpack (the slow interpretation) but keeps one array
+    # kernel and the dispatch loop
+    programs = ("BitSieve", "MiniVM") if smoke else None
+    report = loops_report(programs)
+    with open(output, "w") as handle:
+        json.dump(report, handle, indent=2)
+        handle.write("\n")
+    header = (f"loops benchmark ({'smoke, ' if smoke else ''}"
+              f"{len(report['programs'])} programs) -> {output}")
+    text = header + "\n\nE11: dynamic checks executed per pipeline " \
+        "(loop tier = hoist_checks,licm)\n\n" + loops_table(report)
+    guard = report["guard"]
+    if not guard["tier_reduces_dynamic_checks"]:
+        raise SystemExit(
+            text + "\nPERF GUARD: the loop tier alone no longer reduces "
+            "dynamic checks versus the unoptimised baseline")
+    if not guard["full_pipeline_not_worse"]:
+        raise SystemExit(
+            text + "\nPERF GUARD: the full pipeline with the loop tier "
+            "executes more checks than the default pipeline")
+    return text
+
+
 COMMANDS = {
     "figure5": run_figure5,
     "figure6": run_figure6,
@@ -437,7 +472,7 @@ def main(argv=None) -> int:
     if not argv or argv[0] not in list(COMMANDS) + ["all", "codec",
                                                     "analysis",
                                                     "pipeline", "fuzz",
-                                                    "load"]:
+                                                    "load", "loops"]:
         print(__doc__)
         return 2
     if argv[0] == "codec":
@@ -450,6 +485,8 @@ def main(argv=None) -> int:
         print(run_fuzz(argv[1:]))
     elif argv[0] == "load":
         print(run_load(argv[1:]))
+    elif argv[0] == "loops":
+        print(run_loops(argv[1:]))
     elif argv[0] == "all":
         for name, command in COMMANDS.items():
             print(command())
@@ -461,6 +498,8 @@ def main(argv=None) -> int:
         print(run_pipeline(argv[1:]))
         print()
         print(run_load(argv[1:]))
+        print()
+        print(run_loops(argv[1:]))
     else:
         print(COMMANDS[argv[0]]())
     return 0

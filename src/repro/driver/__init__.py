@@ -25,6 +25,7 @@ from repro.driver.manager import PassManager
 from repro.driver.passes import (
     ALL_PASSES,
     CANONICAL_SPEC,
+    DEFAULT_PASSES,
     PASS_REGISTRY,
     Pass,
     PassCheckError,
@@ -43,6 +44,7 @@ __all__ = [
     "AnalysisManager",
     "CANONICAL_SPEC",
     "CompilationSession",
+    "DEFAULT_PASSES",
     "PASS_REGISTRY",
     "Pass",
     "PassCheckError",

@@ -43,14 +43,26 @@ from typing import Iterable, Optional, Union
 
 from repro.analysis.diagnostics import Diagnostic
 
-#: Canonical execution order (one name per slot).
-ALL_PASSES = ("constprop", "safephi", "cse", "dce", "cleanup")
+#: Canonical execution order (one name per slot).  ``hoist_checks``
+#: runs before ``cse`` so a check hoisted to a preheader dominates --
+#: and therefore subsumes, via CSE's memory dependence -- the redundant
+#: in-loop checks of the same value; ``licm`` runs after ``cse`` so
+#: reads whose checks were just eliminated or hoisted (now invariant
+#: operands) can migrate out in the same pipeline run.
+ALL_PASSES = ("constprop", "safephi", "hoist_checks", "cse", "licm",
+              "dce", "cleanup")
 
-#: The canonical full pipeline as a spec string.
-CANONICAL_SPEC = ",".join(ALL_PASSES)
+#: The pipeline ``optimize=True`` selects when no explicit spec is
+#: given.  The loop tier (``licm``, ``hoist_checks``) is opt-in via
+#: ``--passes``: it inserts preheader blocks, so enabling it by default
+#: would change every golden wire fixture.
+DEFAULT_PASSES = ("constprop", "safephi", "cse", "dce", "cleanup")
+
+#: The default pipeline as a spec string (stable cache-key alias).
+CANONICAL_SPEC = ",".join(DEFAULT_PASSES)
 
 #: Statistics keys whose nonzero value means the pass rewired CFG edges.
-CFG_CHANGE_STATS = ("stale_exc_edges", "dead_handlers")
+CFG_CHANGE_STATS = ("stale_exc_edges", "dead_handlers", "preheaders")
 
 
 class PassCheckError(Exception):
@@ -102,6 +114,22 @@ def _step_safephi(function) -> dict:
 
 
 @_uses_analyses
+def _step_licm(function, analyses=None) -> dict:
+    from repro.opt.licm import run_licm
+    forest = analyses.get("loops", function) \
+        if analyses is not None else None
+    return run_licm(function, forest=forest)
+
+
+@_uses_analyses
+def _step_hoist_checks(function, analyses=None) -> dict:
+    from repro.opt.hoist_checks import run_hoist_checks
+    forest = analyses.get("loops", function) \
+        if analyses is not None else None
+    return run_hoist_checks(function, forest=forest)
+
+
+@_uses_analyses
 def _step_cse(function, analyses=None, partition_memory=False) -> dict:
     from repro.opt.cleanup import remove_stale_exception_edges
     from repro.opt.cse import run_cse
@@ -141,6 +169,8 @@ def _step_cleanup(function) -> dict:
 STEP_FUNCTIONS = {
     "constprop": _step_constprop,
     "safephi": _step_safephi,
+    "licm": _step_licm,
+    "hoist_checks": _step_hoist_checks,
     "cse": _step_cse,
     "cse_fields": _step_cse_fields,
     "dce": _step_dce,
@@ -199,6 +229,15 @@ register_pass(Pass("constprop", "constprop",
                    preserves=frozenset({"domtree"})))
 register_pass(Pass("safephi", "safephi",
                    preserves=frozenset({"domtree"})))
+# the loop tier preserves the dominator tree only when it did not have
+# to materialise a preheader; ``preheaders`` is in CFG_CHANGE_STATS, so
+# preserved_after() withdraws "domtree" exactly in that case.
+register_pass(Pass("licm", "licm",
+                   requires=frozenset({"loops"}),
+                   preserves=frozenset({"domtree"})))
+register_pass(Pass("hoist_checks", "hoist_checks",
+                   requires=frozenset({"loops", "nullness", "range"}),
+                   preserves=frozenset({"domtree"})))
 register_pass(Pass("cse", "cse",
                    requires=frozenset({"domtree"}),
                    preserves=frozenset({"domtree"})))
@@ -223,14 +262,14 @@ PassSpec = Union[None, str, Iterable[str]]
 def parse_pass_spec(spec: PassSpec) -> tuple[str, ...]:
     """Resolve a pipeline spec to the canonically ordered pass tuple.
 
-    ``None`` selects the full canonical pipeline; a string is split on
+    ``None`` selects the default pipeline; a string is split on
     commas (``"constprop, dce"``); any iterable of names is accepted.
     Unknown names raise ``ValueError``.  At most one pass per slot
     survives; for the ``cse`` slot the ``cse_fields`` variant wins when
     both are named (historical behaviour of the ablation driver).
     """
     if spec is None:
-        return ALL_PASSES
+        return DEFAULT_PASSES
     if isinstance(spec, str):
         names = [part.strip() for part in spec.split(",")]
         names = [part for part in names if part]
@@ -253,9 +292,9 @@ def parse_pass_spec(spec: PassSpec) -> tuple[str, ...]:
 def effective_passes(optimize: bool, passes: PassSpec) -> tuple[str, ...]:
     """The pass tuple a compilation with these flags actually runs:
     an explicit ``passes`` spec wins; otherwise ``optimize`` selects the
-    full canonical pipeline or nothing."""
+    default pipeline or nothing."""
     if passes is None:
-        return ALL_PASSES if optimize else ()
+        return DEFAULT_PASSES if optimize else ()
     return parse_pass_spec(passes)
 
 

@@ -143,7 +143,7 @@ class _ProgramBuilder:
 
     def statement(self, depth: int = 0) -> str:
         src = self.src
-        kind = src.integer(0, 13 if depth < _MAX_STMT_DEPTH else 4)
+        kind = src.integer(0, 15 if depth < _MAX_STMT_DEPTH else 4)
         var = src.choice(_INT_VARS)
         if kind in (0, 1):
             return f"{var} = {self.int_expr()};"
@@ -200,12 +200,29 @@ class _ProgramBuilder:
             return f"s = new {cls}(); s.tag = {self.int_expr(2)};"
         if kind == 12:
             return f"{var} = h({self.int_expr(2)});"
-        counter = self.fresh("d")  # do/while with a dedicated counter
-        bound = src.integer(1, 3)
-        return (f"{{ int {counter} = {bound}; "
-                f"do {{ {counter} = {counter} - 1; "
-                f"{self.statement(depth + 1)} }} "
-                f"while ({counter} > 0); }}")
+        if kind == 13:
+            counter = self.fresh("d")  # do/while with a dedicated counter
+            bound = src.integer(1, 3)
+            return (f"{{ int {counter} = {bound}; "
+                    f"do {{ {counter} = {counter} - 1; "
+                    f"{self.statement(depth + 1)} }} "
+                    f"while ({counter} > 0); }}")
+        if kind == 14:  # loop-invariant array traffic (licm/hoist fodder)
+            index = self.fresh("li")
+            bound = src.integer(2, 6)
+            inv = src.choice(_INT_VARS)
+            return (f"for (int {index} = 0; {index} < {bound}; {index}++) "
+                    f"{{ {var} = {var} + arr[{inv} & {_ARRAY_LEN - 1}] "
+                    f"+ {inv} * {inv} + arr.length; }}")
+        # nested loop: the inner bound, element index and store target
+        # are all invariant for the inner loop but not the outer one
+        outer = self.fresh("lo")
+        inner = self.fresh("ln")
+        return (f"for (int {outer} = 0; {outer} < {src.integer(2, 4)}; "
+                f"{outer}++) {{ "
+                f"for (int {inner} = 0; {inner} < arr.length; {inner}++) "
+                f"{{ {var} = {var} + arr[{outer} & {_ARRAY_LEN - 1}]; }} "
+                f"arr[{outer} & {_ARRAY_LEN - 1}] = {var}; }}")
 
     # -- whole programs -------------------------------------------------
 

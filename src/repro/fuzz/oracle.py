@@ -30,8 +30,14 @@ from dataclasses import dataclass, field
 from typing import Optional
 
 #: pass specs compared against the plain module by default; each one is
-#: a legal ``--passes`` spec (see repro.driver.passes.PASS_REGISTRY)
-DEFAULT_PASS_SPECS = ("constprop", "constprop,cse_fields,dce")
+#: a legal ``--passes`` spec (see repro.driver.passes.PASS_REGISTRY).
+#: The last lane is the full pipeline with the loop tier (preheader
+#: insertion, LICM, check hoisting) enabled.
+DEFAULT_PASS_SPECS = (
+    "constprop",
+    "constprop,cse_fields,dce",
+    "constprop,safephi,hoist_checks,cse_fields,licm,dce,cleanup",
+)
 
 _MAX_STEPS = 2_000_000
 

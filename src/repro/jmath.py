@@ -33,21 +33,22 @@ def f32(value: float) -> float:
     return struct.unpack("f", struct.pack("f", value))[0]
 
 
-def idiv(a: int, b: int) -> int:
+def idiv(a: int, b: int, bits: int = 32) -> int:
     """Java integer division: truncates toward zero; (MIN / -1) wraps."""
     if b == 0:
         raise ZeroDivisionError("/ by zero")
     q = abs(a) // abs(b)
     if (a < 0) != (b < 0):
         q = -q
-    return q
+    return i32(q) if bits == 32 else i64(q)
 
 
-def irem(a: int, b: int) -> int:
-    """Java integer remainder: sign follows the dividend."""
+def irem(a: int, b: int, bits: int = 32) -> int:
+    """Java integer remainder: sign follows the dividend; (MIN % -1) is 0."""
     if b == 0:
         raise ZeroDivisionError("% by zero")
-    return a - idiv(a, b) * b
+    r = a - idiv(a, b, bits) * b
+    return i32(r) if bits == 32 else i64(r)
 
 
 def ishl(a: int, b: int, bits: int = 32) -> int:

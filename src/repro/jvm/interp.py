@@ -440,8 +440,8 @@ _ARITH = {
     "ladd": _binary(lambda a, b: jmath.i64(a + b)),
     "lsub": _binary(lambda a, b: jmath.i64(a - b)),
     "lmul": _binary(lambda a, b: jmath.i64(a * b)),
-    "ldiv": _binary(lambda a, b: jmath.i64(jmath.idiv(a, b))),
-    "lrem": _binary(lambda a, b: jmath.i64(jmath.irem(a, b))),
+    "ldiv": _binary(lambda a, b: jmath.idiv(a, b, 64)),
+    "lrem": _binary(lambda a, b: jmath.irem(a, b, 64)),
     "lneg": _unary(lambda a: jmath.i64(-a)),
     "lshl": _binary(lambda a, b: jmath.ishl(a, b, 64)),
     "lshr": _binary(lambda a, b: jmath.ishr(a, b, 64)),

@@ -1,0 +1,143 @@
+"""Loop-invariant code motion over SafeTSA natural loops.
+
+An instruction is *loop invariant* when every operand is defined outside
+the loop; it then computes the same value on every iteration and can be
+evaluated once in the loop's preheader.  Hoisting is restricted to
+instructions that can be executed speculatively -- the preheader runs
+even for a zero-trip loop, so a hoisted instruction must neither trap
+nor have a side effect:
+
+* pure computations (``primitive`` on non-trapping operations,
+  ``refcmp``, ``instanceof``, ``downcast``) hoist freely;
+* ``arraylen`` hoists whenever its array operand is invariant -- Java
+  array lengths are immutable, so no store can change the answer;
+* ``getfield``/``getstatic``/``getelt`` are pure reads but only yield
+  the same value each trip when nothing in the loop writes the same
+  location: a field read is blocked by a store to the *same field* (or
+  any call, which may store anywhere), an element read by any element
+  store or call.  This mirrors the memory partition used by
+  :mod:`repro.opt.memdep`;
+* trapping instructions never hoist here -- moving an exception point
+  above the loop bound check would throw for loops that would not have
+  executed it.  The check-specific cases that *can* be proven safe are
+  handled by :mod:`repro.opt.hoist_checks`.
+
+Hoisting works innermost-first so an invariant pulled out of an inner
+loop lands in the inner preheader, which belongs to the outer loop's
+body and is immediately reconsidered against the outer loop.  Within a
+loop the mover iterates to a fixpoint, so chains of invariant
+instructions (``a*b`` then ``(a*b)+c``) migrate in one pass run.
+
+Preheaders are materialised lazily via
+:func:`repro.analysis.loops.ensure_preheader`; loops whose entry shape
+does not admit one (exception-edge entries, dispatch headers) are
+skipped rather than transformed unsoundly.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.analysis.loops import Loop, LoopForest, ensure_preheader, find_loops
+from repro.ssa import ir
+from repro.ssa.ir import Block, Function, Instr
+
+
+class _LoopEffects:
+    """What the loop body may write, for gating invariant memory reads."""
+
+    __slots__ = ("stored_fields", "stores_elements", "unknown_writes")
+
+    def __init__(self) -> None:
+        self.stored_fields: set = set()
+        self.stores_elements = False
+        #: a call (or anything else impure we cannot classify) may write
+        #: any field of any object
+        self.unknown_writes = False
+
+    def blocks_read(self, instr: Instr) -> bool:
+        if isinstance(instr, (ir.GetField, ir.GetStatic)):
+            return self.unknown_writes or instr.field in self.stored_fields
+        if isinstance(instr, ir.GetElt):
+            return self.unknown_writes or self.stores_elements
+        return False
+
+
+def _scan_effects(function: Function, loop: Loop) -> _LoopEffects:
+    effects = _LoopEffects()
+    for block in function.blocks:
+        if block.id not in loop.blocks:
+            continue
+        for instr in block.instrs:
+            if instr.is_pure():
+                continue
+            if isinstance(instr, (ir.SetField, ir.SetStatic)):
+                effects.stored_fields.add(instr.field)
+            elif isinstance(instr, ir.SetElt):
+                effects.stores_elements = True
+            elif isinstance(instr, (ir.NullCheck, ir.IdxCheck, ir.Upcast,
+                                    ir.New, ir.NewArray, ir.Prim)):
+                # trapping but memory-silent; allocation cannot alias a
+                # value that existed before the loop
+                pass
+            else:
+                effects.unknown_writes = True
+    return effects
+
+
+def _hoistable(instr: Instr, loop: Loop, effects: _LoopEffects) -> bool:
+    if not instr.is_pure():
+        return False
+    if isinstance(instr, (ir.Phi, ir.CaughtExc, ir.Const, ir.Param)):
+        return False
+    if effects.blocks_read(instr):
+        return False
+    return all(loop.is_invariant(op) for op in instr.operands)
+
+
+def hoist_loop(function: Function, loop: Loop,
+               forest: LoopForest) -> tuple[int, int]:
+    """Hoist invariants out of one loop; returns (moved, new_preheaders)."""
+    effects = _scan_effects(function, loop)
+    preheader: Optional[Block] = loop.preheader
+    inserted = 0
+    moved = 0
+    changed = True
+    while changed:
+        changed = False
+        for block in function.blocks:
+            if block.id not in loop.blocks:
+                continue
+            for instr in list(block.instrs):
+                if not _hoistable(instr, loop, effects):
+                    continue
+                if preheader is None:
+                    before = len(function.blocks)
+                    preheader = ensure_preheader(function, loop, forest)
+                    if preheader is None:
+                        return moved, inserted
+                    inserted += len(function.blocks) - before
+                block.instrs.remove(instr)
+                preheader.append(instr)
+                moved += 1
+                changed = True
+    return moved, inserted
+
+
+def run_licm(function: Function,
+             forest: Optional[LoopForest] = None) -> dict:
+    """Run LICM over every natural loop of ``function``.
+
+    Returns ``{"licm_hoisted": moved, "preheaders": inserted}``; a
+    nonzero ``preheaders`` count signals a CFG-shape change to the pass
+    manager (the dominator tree gains blocks).
+    """
+    if forest is None:
+        forest = find_loops(function)
+    moved = 0
+    inserted = 0
+    for loop in forest.innermost_first():
+        loop_moved, loop_inserted = hoist_loop(function, loop, forest)
+        moved += loop_moved
+        inserted += loop_inserted
+    return {"licm_hoisted": moved, "preheaders": inserted}

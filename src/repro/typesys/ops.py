@@ -91,8 +91,8 @@ def _long_ops() -> list[Operation]:
         Operation(LONG, "add", [LONG, LONG], LONG, lambda a, b: i(a + b), commutative=True),
         Operation(LONG, "sub", [LONG, LONG], LONG, lambda a, b: i(a - b)),
         Operation(LONG, "mul", [LONG, LONG], LONG, lambda a, b: i(a * b), commutative=True),
-        Operation(LONG, "div", [LONG, LONG], LONG, lambda a, b: i(jmath.idiv(a, b)), traps=True),
-        Operation(LONG, "rem", [LONG, LONG], LONG, lambda a, b: i(jmath.irem(a, b)), traps=True),
+        Operation(LONG, "div", [LONG, LONG], LONG, lambda a, b: jmath.idiv(a, b, 64), traps=True),
+        Operation(LONG, "rem", [LONG, LONG], LONG, lambda a, b: jmath.irem(a, b, 64), traps=True),
         Operation(LONG, "neg", [LONG], LONG, lambda a: i(-a)),
         Operation(LONG, "shl", [LONG, INT], LONG, lambda a, b: jmath.ishl(a, b, 64)),
         Operation(LONG, "shr", [LONG, INT], LONG, lambda a, b: jmath.ishr(a, b, 64)),

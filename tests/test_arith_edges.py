@@ -1,0 +1,167 @@
+"""Arithmetic width-boundary edge cases, agreed across every executor.
+
+Java arithmetic has a handful of corners where naive Python arithmetic
+silently diverges: ``Integer.MIN_VALUE / -1`` wraps instead of raising,
+``MIN_VALUE % -1`` is zero, shift counts are masked to the type width,
+and float-to-int narrowing saturates.  These tests pin the ``jmath``
+helpers on those corners and then drive whole programs built from the
+same constants through the differential oracle, so the SafeTSA
+interpreter, the optimiser's constant folder, the JIT and the bytecode
+interpreter are all forced to agree bit-for-bit.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro import jmath
+from repro.fuzz.oracle import check_program
+
+INT_EDGES = (jmath.INT_MIN, jmath.INT_MIN + 1, -2, -1, 0, 1, 2,
+             jmath.INT_MAX - 1, jmath.INT_MAX)
+
+
+class TestJavaWrapCorners:
+    def test_int_min_div_minus_one_wraps(self):
+        assert jmath.idiv(jmath.INT_MIN, -1) == jmath.INT_MIN
+
+    def test_int_min_rem_minus_one_is_zero(self):
+        assert jmath.irem(jmath.INT_MIN, -1) == 0
+
+    def test_long_min_div_minus_one_wraps(self):
+        assert jmath.idiv(jmath.LONG_MIN, -1, 64) == jmath.LONG_MIN
+
+    def test_long_min_rem_minus_one_is_zero(self):
+        assert jmath.irem(jmath.LONG_MIN, -1, 64) == 0
+
+    def test_shift_boundary_counts(self):
+        # counts 32/64 mask to zero; 33/65 mask to one
+        assert jmath.ishl(5, 32, 32) == 5
+        assert jmath.ishl(5, 33, 32) == 10
+        assert jmath.ishr(-8, 32, 32) == -8
+        assert jmath.iushr(-1, 32, 32) == -1
+        assert jmath.ishl(5, 64, 64) == 5
+        assert jmath.ishl(5, 65, 64) == 10
+        assert jmath.iushr(-1, 64, 64) == -1
+
+    def test_negative_shift_count_masks(self):
+        # -1 & 31 == 31: Java treats negative counts as masked too
+        assert jmath.ishl(1, -1, 32) == jmath.ishl(1, 31, 32)
+        assert jmath.iushr(-1, -1, 32) == 1
+
+    def test_min_times_minus_one_wraps(self):
+        assert jmath.i32(jmath.INT_MIN * -1) == jmath.INT_MIN
+        assert jmath.i64(jmath.LONG_MIN * -1) == jmath.LONG_MIN
+
+    def test_d2i_boundaries(self):
+        assert jmath.d2i(2147483647.0) == jmath.INT_MAX
+        assert jmath.d2i(2147483648.0) == jmath.INT_MAX
+        assert jmath.d2i(-2147483648.0) == jmath.INT_MIN
+        assert jmath.d2i(-2147483649.0) == jmath.INT_MIN
+
+    def test_d2l_boundaries(self):
+        assert jmath.d2l(9.3e18) == jmath.LONG_MAX
+        assert jmath.d2l(-9.3e18) == jmath.LONG_MIN
+
+
+def agreed(source: str) -> None:
+    """The whole agreement matrix must pass on ``source``."""
+    result = check_program(source)
+    assert not result.invalid, "program failed the front end"
+    assert result.ok, str(result.divergence)
+
+
+def edge_program(body: str) -> str:
+    return f"""\
+class Main {{
+    static void main() {{
+{body}
+    }}
+}}
+"""
+
+
+class TestExecutorAgreement:
+    """Edge-constant programs through the full differential oracle.
+
+    Constant operands make the optimiser fold at compile time while the
+    interpreters evaluate at run time -- any executor that forgot Java
+    wrap semantics prints a different number and the oracle reports the
+    divergence.
+    """
+
+    def test_int_min_div_minus_one(self):
+        agreed(edge_program("""\
+        int m = -2147483648;
+        int d = -1;
+        System.out.println(m / d);
+        System.out.println(m % d);
+        System.out.println(m * d);
+        System.out.println(-m);
+"""))
+
+    def test_overflow_wraps_in_all_executors(self):
+        agreed(edge_program("""\
+        int x = 2147483647;
+        System.out.println(x + 1);
+        System.out.println(x * 2);
+        System.out.println(x + x);
+"""))
+
+    def test_shift_count_masking(self):
+        agreed(edge_program("""\
+        int one = 1;
+        System.out.println(one << 31);
+        System.out.println(one << 32);
+        System.out.println(one << 33);
+        System.out.println((0 - 8) >> 32);
+        System.out.println((0 - 1) >>> 32);
+        System.out.println((0 - 1) >>> 28);
+"""))
+
+    def test_division_truncates_toward_zero(self):
+        agreed(edge_program("""\
+        System.out.println((0 - 7) / 2);
+        System.out.println((0 - 7) % 2);
+        System.out.println(7 / (0 - 2));
+        System.out.println(7 % (0 - 2));
+"""))
+
+    def test_division_by_zero_is_agreed_exception(self):
+        agreed(edge_program("""\
+        int z = 0;
+        try { System.out.println(5 / z); }
+        catch (ArithmeticException e) { System.out.println("caught"); }
+        System.out.println(5 % (z | 1));
+"""))
+
+    def test_edge_constants_in_loops(self):
+        # the loop tier must not change wrap semantics when an edge
+        # constant flows round a loop-carried phi
+        agreed(edge_program("""\
+        int x = 2147483645;
+        int i = 0;
+        while (i < 6) { x = x + 1; i = i + 1; }
+        System.out.println(x);
+        int y = -2147483648;
+        for (int j = 0; j < 3; j++) { y = y / (0 - 1); }
+        System.out.println(y);
+"""))
+
+
+@settings(max_examples=25, deadline=None)
+@given(a=st.sampled_from(INT_EDGES), b=st.sampled_from(INT_EDGES),
+       shift=st.integers(min_value=-2, max_value=66))
+def test_arith_agreement_on_edge_pairs(a, b, shift):
+    """For edge-valued (a, b): every executor prints the same sums,
+    products, shifts, and guarded quotients."""
+    agreed(edge_program(f"""\
+        int a = {'-2147483648' if a == jmath.INT_MIN else a};
+        int b = {'-2147483648' if b == jmath.INT_MIN else b};
+        System.out.println(a + b);
+        System.out.println(a - b);
+        System.out.println(a * b);
+        System.out.println(a << {shift & 31});
+        System.out.println(a >> {shift & 31});
+        System.out.println(a >>> {shift & 31});
+        System.out.println(a / (b | 1));
+        System.out.println(a % (b | 1));
+"""))

@@ -11,6 +11,7 @@ from repro.cache import CompilationCache
 from repro.driver import (
     ALL_PASSES,
     CANONICAL_SPEC,
+    DEFAULT_PASSES,
     CompilationSession,
     PASS_REGISTRY,
     PassManager,
@@ -46,11 +47,11 @@ class Main {
 
 
 class TestPassSpecGrammar:
-    def test_none_selects_canonical_pipeline(self):
-        assert parse_pass_spec(None) == ALL_PASSES
+    def test_none_selects_default_pipeline(self):
+        assert parse_pass_spec(None) == DEFAULT_PASSES
 
     def test_string_spec_round_trips(self):
-        assert parse_pass_spec(CANONICAL_SPEC) == ALL_PASSES
+        assert parse_pass_spec(CANONICAL_SPEC) == DEFAULT_PASSES
         assert spec_string(parse_pass_spec(CANONICAL_SPEC)) \
             == CANONICAL_SPEC
 
@@ -75,15 +76,15 @@ class TestPassSpecGrammar:
 
     def test_effective_passes(self):
         assert effective_passes(False, None) == ()
-        assert effective_passes(True, None) == ALL_PASSES
+        assert effective_passes(True, None) == DEFAULT_PASSES
         # an explicit spec always wins over the optimize flag
         assert effective_passes(True, "dce") == ("dce",)
         assert effective_passes(True, "") == ()
 
     def test_registry_metadata(self):
         assert set(PASS_REGISTRY) \
-            == {"constprop", "safephi", "cse", "cse_fields", "dce",
-                "cleanup"}
+            == {"constprop", "safephi", "hoist_checks", "licm", "cse",
+                "cse_fields", "dce", "cleanup"}
         assert "domtree" in PASS_REGISTRY["cse"].requires
         assert "observable" in PASS_REGISTRY["dce"].preserves
 
@@ -248,7 +249,7 @@ class TestCompilationSession:
         assert set(session.stage_seconds) == {"parse", "ssa", "opt"}
         report = session.pass_report()
         assert report["spec"] == CANONICAL_SPEC
-        assert set(report["pass_seconds"]) == set(ALL_PASSES)
+        assert set(report["pass_seconds"]) == set(DEFAULT_PASSES)
         assert report["functions"] == len(session.reports) > 0
 
     def test_compile_cache_covers_pass_spec(self):
