@@ -6,7 +6,7 @@ PYTHON ?= python3
 export PYTHONPATH := src:$(PYTHONPATH)
 
 .PHONY: test bench bench-smoke bench-analysis bench-pipeline bench-load \
-	bench-loops fuzz-smoke lint-corpus tables examples all clean
+	bench-loops bench-wire fuzz-smoke lint-corpus tables examples all clean
 
 test:
 	$(PYTHON) -m pytest tests/ -q
@@ -39,6 +39,13 @@ bench-load:
 # tier (hoist_checks,licm) strictly reduces executed checks.
 bench-loops:
 	$(PYTHON) -m repro.bench.runner loops --smoke
+
+# Wire-format v2 distribution benchmark: shared-dictionary and delta
+# shipping ratios plus streaming vs eager time-to-first-execute on a
+# simulated link; writes BENCH_wire.json and fails if any of the three
+# guards regress.
+bench-wire:
+	$(PYTHON) -m repro.bench.runner wire --smoke
 
 # Deterministic fuzzing smoke: differential oracle over generated
 # programs + wire-stream mutation under a fixed seed (~30 s); writes

@@ -89,6 +89,20 @@ STABLE_CODES: dict[str, tuple[str, str, str]] = {
                   "value-level validation failed during decode"),
     "DEC-MALFORMED": (LAYER_DECODER, Severity.ERROR,
                       "stream violates a decoder shape rule"),
+    # -- wire-format v2 envelope (repro.encode.format) ------------------
+    "DEC-DICT": (LAYER_DECODER, Severity.ERROR,
+                 "v2 envelope references a dictionary digest the store "
+                 "does not hold"),
+    "DEC-DELTA-BASE": (LAYER_DECODER, Severity.ERROR,
+                       "delta base missing from the store or "
+                       "reconstruction does not match the target "
+                       "digest"),
+    "DEC-DELTA": (LAYER_DECODER, Severity.ERROR,
+                  "delta patch is structurally invalid (bad copy "
+                  "bounds or envelope chain too deep)"),
+    "DEC-STREAM": (LAYER_DECODER, Severity.ERROR,
+                   "distribution stream ended mid-unit (truncated "
+                   "envelope or body never arrived)"),
     # ===== verifier layer: well-formedness rejections =================
     # -- control structure / CFG ---------------------------------------
     "STSA-CFG-001": (LAYER_VERIFIER, Severity.ERROR,
@@ -202,6 +216,10 @@ DIAGNOSTIC_CODES: dict[str, tuple[str, str]] = {
 #: offending construct is simply unrepresentable past that point.
 CODE_ALIASES: tuple[frozenset[str], ...] = (
     frozenset({"DEC-TRAP-REF", "STSA-REF-004"}),
+    # truncation surfaces as DEC-IO from the one-shot bit reader and as
+    # DEC-STREAM from the chunk-feedable front / envelope resolution --
+    # same defect (the unit ended early), two delivery paths
+    frozenset({"DEC-IO", "DEC-STREAM"}),
     frozenset({"DEC-REF", "STSA-REF-001", "STSA-REF-002", "STSA-REF-003",
                "STSA-PHI-003"}),
     frozenset({"DEC-CST", "STSA-CFG-001", "STSA-CFG-002"}),

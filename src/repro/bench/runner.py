@@ -14,6 +14,7 @@ Usage::
     python -m repro.bench.runner fuzz [--smoke] [--output PATH]
     python -m repro.bench.runner load [--smoke] [--output PATH]
     python -m repro.bench.runner loops [--smoke] [--output PATH]
+    python -m repro.bench.runner wire [--smoke] [--output PATH]
     python -m repro.bench.runner all
 
 ``codec`` times the wire codec and the compilation cache and writes the
@@ -31,8 +32,13 @@ stops beating two-pass; ``loops`` compares the loop tier (preheaders,
 LICM, check hoisting) against no optimisation and the default pipeline
 on the loop-heavy corpus, writes ``BENCH_loops.json``, and exits
 nonzero unless the tier alone strictly reduces dynamic checks and the
-full pipeline with the tier never regresses the default; ``--smoke``
-runs a reduced configuration (the CI setting).
+full pipeline with the tier never regresses the default; ``wire``
+(E12) sizes the v2 distribution layer (shared dictionaries, deltas)
+and measures streaming vs eager time-to-first-execute on a simulated
+link, writes ``BENCH_wire.json``, and exits nonzero if v2 stops
+shrinking the corpus, deltas stop beating whole artifacts, or
+streaming TTFE exceeds eager; ``--smoke`` runs a reduced configuration
+(the CI setting).
 
 Timed sections run best-of-N with a warmup pass (``REPRO_BENCH_REPEATS``
 overrides N, default 3): the minimum over repeats is the standard
@@ -457,6 +463,40 @@ def run_loops(argv=()) -> str:
     return text
 
 
+def run_wire(argv=()) -> str:
+    from repro.bench.wire import wire_report, wire_table
+    smoke = "--smoke" in argv
+    output = "BENCH_wire.json"
+    argv = [arg for arg in argv if arg != "--smoke"]
+    if "--output" in argv:
+        output = argv[argv.index("--output") + 1]
+    programs = ("BitSieve", "BinaryCode", "Scanner") if smoke else None
+    repeats = 2 if smoke else None
+    report = wire_report(programs, repeats=repeats)
+    with open(output, "w") as handle:
+        json.dump(report, handle, indent=2)
+        handle.write("\n")
+    header = (f"wire benchmark ({'smoke, ' if smoke else ''}"
+              f"{len(report['programs'])} programs) -> {output}")
+    text = header + "\n\nE12: wire-format v2 distribution cost " \
+        "(shared dictionaries, deltas, streaming TTFE)\n\n" \
+        + wire_table(report)
+    guard = report["guard"]
+    if not guard["v2_smaller_than_v1"]:
+        raise SystemExit(
+            text + "\nPERF GUARD: shared-dictionary v2 no longer ships "
+            "fewer corpus bytes than raw v1")
+    if not guard["delta_smaller_than_full"]:
+        raise SystemExit(
+            text + "\nPERF GUARD: delta modules no longer beat shipping "
+            "the optimised artifact whole")
+    if not guard["streaming_ttfe_le_eager"]:
+        raise SystemExit(
+            text + "\nPERF GUARD: streaming time-to-first-execute "
+            "exceeds the eager transfer-then-decode baseline")
+    return text
+
+
 COMMANDS = {
     "figure5": run_figure5,
     "figure6": run_figure6,
@@ -472,7 +512,8 @@ def main(argv=None) -> int:
     if not argv or argv[0] not in list(COMMANDS) + ["all", "codec",
                                                     "analysis",
                                                     "pipeline", "fuzz",
-                                                    "load", "loops"]:
+                                                    "load", "loops",
+                                                    "wire"]:
         print(__doc__)
         return 2
     if argv[0] == "codec":
@@ -487,6 +528,8 @@ def main(argv=None) -> int:
         print(run_load(argv[1:]))
     elif argv[0] == "loops":
         print(run_loops(argv[1:]))
+    elif argv[0] == "wire":
+        print(run_wire(argv[1:]))
     elif argv[0] == "all":
         for name, command in COMMANDS.items():
             print(command())
@@ -500,6 +543,8 @@ def main(argv=None) -> int:
         print(run_load(argv[1:]))
         print()
         print(run_loops(argv[1:]))
+        print()
+        print(run_wire(argv[1:]))
     else:
         print(COMMANDS[argv[0]]())
     return 0

@@ -26,6 +26,8 @@ import tempfile
 from pathlib import Path
 from typing import Optional
 
+from repro.encode.common import wire_format_version
+
 #: Bump when the wire format (or anything the key does not capture)
 #: changes meaning; old entries then miss instead of decoding garbage.
 FORMAT_VERSION = "stsa1"
@@ -41,10 +43,16 @@ class CompilationCache:
         self.misses = 0
 
     @staticmethod
-    def key(source: str, **flags) -> str:
-        """Content address of one compilation (source + pipeline flags)."""
+    def key(source: str, format_version: str = FORMAT_VERSION,
+            **flags) -> str:
+        """Content address of one compilation (source + pipeline flags).
+
+        ``format_version`` is the *wire* format the entry's bytes are
+        in ("stsa1" by default, "stsa2" for enveloped output): a v1 and
+        a v2 encoding of the same compilation can never collide.
+        """
         hasher = hashlib.sha256()
-        hasher.update(FORMAT_VERSION.encode())
+        hasher.update(format_version.encode())
         for name in sorted(flags):
             hasher.update(f"\x00{name}={flags[name]!r}".encode())
         hasher.update(b"\x00\x00")
@@ -137,9 +145,14 @@ class VerifiedModuleCache:
 
     @staticmethod
     def key(wire: bytes) -> str:
-        """Content address of one distribution unit: its exact bytes."""
+        """Content address of one distribution unit: its detected wire
+        format version plus its exact bytes.  Mixing the version in
+        means a v1 stream and a v2 envelope can never collide even if
+        a hostile envelope embedded v1 bytes verbatim."""
         hasher = hashlib.sha256()
         hasher.update(FORMAT_VERSION.encode())
+        hasher.update(b"\x00")
+        hasher.update(wire_format_version(wire).encode())
         hasher.update(b"\x00verified\x00")
         hasher.update(wire)
         return hasher.hexdigest()
@@ -215,6 +228,79 @@ class VerifiedModuleCache:
                 "entries": len(self._memory)}
 
 
+class DictionaryStore:
+    """Content-addressed blob store for wire-format v2 sections.
+
+    Shared dictionaries and delta bases are named by their raw SHA-256
+    digest -- the 32 bytes an envelope actually carries -- so "present
+    but wrong" is impossible by construction: a blob that does not hash
+    to its key is treated as absent (and the envelope's resolution then
+    rejects with a stable ``DEC-*`` code).  Like the caches above the
+    store is advisory for performance, never load-bearing for
+    soundness: whatever it returns is re-fed to the verifying decoder.
+
+    Memory-only by default; with ``cache_dir`` blobs persist as
+    ``<digest-hex>.blob`` files, written atomically.
+    """
+
+    def __init__(self, cache_dir: Optional[str] = None):
+        self._memory: dict[bytes, bytes] = {}
+        self._dir = Path(cache_dir) if cache_dir else None
+
+    def put(self, blob: bytes) -> bytes:
+        """Publish ``blob``; returns its 32-byte content address."""
+        digest = hashlib.sha256(blob).digest()
+        if digest not in self._memory:
+            self._memory[digest] = bytes(blob)
+            if self._dir is not None:
+                self._dir.mkdir(parents=True, exist_ok=True)
+                fd, temp = tempfile.mkstemp(dir=self._dir, suffix=".tmp")
+                try:
+                    with os.fdopen(fd, "wb") as handle:
+                        handle.write(blob)
+                    os.replace(temp, self._dir / f"{digest.hex()}.blob")
+                except BaseException:
+                    try:
+                        os.unlink(temp)
+                    except OSError:
+                        pass
+                    raise
+        return digest
+
+    def get(self, digest: bytes) -> Optional[bytes]:
+        blob = self._memory.get(digest)
+        if blob is None and self._dir is not None:
+            path = self._dir / f"{digest.hex()}.blob"
+            if path.is_file():
+                blob = path.read_bytes()
+                if hashlib.sha256(blob).digest() != digest:
+                    return None  # damaged blob: absent, not wrong
+                self._memory[digest] = blob
+        return blob
+
+    def __contains__(self, digest: bytes) -> bool:
+        return self.get(digest) is not None
+
+    def __len__(self) -> int:
+        return len(self._memory)
+
+    def __bool__(self) -> bool:
+        return True  # an empty store is still an enabled store
+
+    def clear(self) -> None:
+        self._memory.clear()
+        if self._dir is not None and self._dir.is_dir():
+            for path in self._dir.glob("*.blob"):
+                path.unlink(missing_ok=True)
+
+
+def default_dictionary_store() -> DictionaryStore:
+    """The process-wide dictionary store.  Always present (an empty
+    store deterministically rejects every digest reference), persisted
+    under ``REPRO_CACHE_DIR`` when that is set."""
+    return _DEFAULT_DICTS
+
+
 def default_module_cache() -> Optional[VerifiedModuleCache]:
     """The process-wide verified-module cache, enabled alongside the
     compilation cache by ``REPRO_CACHE_DIR`` ("" for memory-only)."""
@@ -251,3 +337,5 @@ def _modules_from_environment() -> Optional[VerifiedModuleCache]:
 
 _DEFAULT: Optional[CompilationCache] = _from_environment()
 _DEFAULT_MODULES: Optional[VerifiedModuleCache] = _modules_from_environment()
+_DEFAULT_DICTS: DictionaryStore = DictionaryStore(
+    os.environ.get("REPRO_CACHE_DIR") or None)

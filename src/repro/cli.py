@@ -3,14 +3,14 @@
 Subcommands::
 
     repro-cc compile FILE.java -o FILE.stsa [--optimize] [--passes SPEC]
-                     [--jobs N] [--no-prune] [--report]
+                     [--jobs N] [--no-prune] [--report] [--wire-v2]
     repro-cc run     FILE.java|FILE.stsa [--class NAME] [--optimize]
     repro-cc disasm  FILE.java|FILE.stsa [--optimize]
     repro-cc verify  FILE.stsa
     repro-cc lint    FILE.java|FILE.stsa [--json] [--optimize]
     repro-cc stats   FILE.java
     repro-cc bench   figure5|figure6|pruning|ablation|verifycost|codec|
-                     analysis|pipeline|fuzz|load|all
+                     analysis|pipeline|fuzz|load|wire|all
     repro-cc fuzz    [--seed S] [--budget N] [--mode programs|streams|all]
                      [--fixtures DIR] [--json PATH] [--no-minimize] [-q]
 """
@@ -53,10 +53,18 @@ def cmd_compile(args) -> int:
     module = session.build_module(source_path.read_text())
     session.optimize(module)
     wire = session.encode(module)
+    version = "stsa1"
+    if args.wire_v2:
+        # self-contained v2 envelope; dictionary factoring and deltas
+        # are publisher batch operations (repro.encode.format)
+        from repro.encode.format import encode_v2
+        wire = encode_v2(wire)
+        version = "stsa2"
     out = args.output or str(source_path.with_suffix(".stsa"))
     Path(out).write_bytes(wire)
-    print(f"{out}: {len(wire)} bytes, {module.instruction_count()} "
-          f"instructions, {len(module.classes)} classes")
+    print(f"{out}: {len(wire)} bytes ({version}), "
+          f"{module.instruction_count()} instructions, "
+          f"{len(module.classes)} classes")
     if args.report:
         import json
         print(json.dumps(session.pass_report(), indent=2))
@@ -197,6 +205,9 @@ def main(argv=None) -> int:
                    help="keep eagerly inserted phis")
     p.add_argument("--report", action="store_true",
                    help="print the per-pass timing/statistics report")
+    p.add_argument("--wire-v2", action="store_true",
+                   help="emit a wire-format v2 distribution envelope "
+                        "instead of the raw v1 stream")
     p.set_defaults(fn=cmd_compile)
 
     p = sub.add_parser("run", help="execute a program's static main")
@@ -241,7 +252,8 @@ def main(argv=None) -> int:
     p.add_argument("table", choices=["figure5", "figure6", "pruning",
                                      "ablation", "verifycost",
                                      "jitspeed", "codec", "analysis",
-                                     "pipeline", "fuzz", "load", "all"])
+                                     "pipeline", "fuzz", "load", "wire",
+                                     "all"])
     p.set_defaults(fn=cmd_bench)
 
     p = sub.add_parser(
@@ -251,9 +263,10 @@ def main(argv=None) -> int:
     p.add_argument("--budget", type=int, default=1000,
                    help="iterations: programs generated / mutants tried")
     p.add_argument("--mode", default="all",
-                   choices=["programs", "streams", "all"],
+                   choices=["programs", "streams", "streams-v2", "all"],
                    help="differential oracle over generated programs, "
-                        "wire-stream mutation, or both")
+                        "wire-stream mutation (v1 or v2 envelope lane), "
+                        "or everything")
     p.add_argument("--fixtures", default=None, metavar="DIR",
                    help="persist shrunken findings as regression "
                         "fixtures under DIR")

@@ -4,6 +4,24 @@ from __future__ import annotations
 
 MAGIC = b"STSA1"
 
+#: wire-format v2 distribution envelope (shared dictionaries / deltas);
+#: the *payload* inside an envelope is always a v1 stream, so the
+#: verifying decoder proper never changes per version.
+MAGIC_V2 = b"STSA2"
+
+#: wire magic -> canonical format-version string (cache-key component)
+WIRE_VERSIONS = {MAGIC: "stsa1", MAGIC_V2: "stsa2"}
+
+
+def wire_format_version(data: bytes) -> str:
+    """Canonical version string for a wire blob (``"stsa1"``,
+    ``"stsa2"``, or ``"unknown"``).  Pure prefix sniff -- never raises,
+    usable on truncated or hostile input."""
+    for magic, version in WIRE_VERSIONS.items():
+        if data[:len(magic)] == magic:
+            return version
+    return "unknown"
+
 #: instruction opcode alphabet, in wire order
 OPCODES = (
     "const", "param", "primitive", "xprimitive", "refcmp",

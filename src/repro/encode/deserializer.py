@@ -837,10 +837,20 @@ class _FunctionDecoder:
                 phi.add_operand(operand)
 
 
-def decode_module(data: bytes) -> Module:
-    """Decode (and thereby validate) a SafeTSA distribution unit."""
+def decode_module(data: bytes, *, store=None) -> Module:
+    """Decode (and thereby validate) a SafeTSA distribution unit.
+
+    A v2 envelope (shared dictionaries / delta; ``STSA2``) is resolved
+    to its v1 payload through ``store`` first -- resolution failures
+    reject with their own stable codes (``DEC-DICT``,
+    ``DEC-DELTA-BASE``, ``DEC-DELTA``, ``DEC-STREAM``) before any IR
+    exists.  Everything else, v1 included, flows through the verifying
+    decoder unchanged.
+    """
     from repro.typesys.table import TypeTableError
     from repro.typesys.world import WorldError
+    from repro.encode.format import resolve_stream
+    data = resolve_stream(data, store)
     try:
         return _ModuleDecoder(data).decode()
     except BitIOError as error:

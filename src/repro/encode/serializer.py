@@ -486,7 +486,8 @@ class _FunctionEncoder:
 
 def encode_module(module: Module,
                   size_report: Optional[dict] = None, *,
-                  analyses=None) -> bytes:
+                  analyses=None, format_version: str = "stsa1",
+                  store=None) -> bytes:
     """Externalise ``module`` into SafeTSA wire bytes.
 
     ``size_report``, when given, is filled with per-class bit counts
@@ -494,5 +495,18 @@ def encode_module(module: Module,
     harness can attribute file size to individual classes.  ``analyses``
     optionally shares an :class:`repro.analysis.manager.AnalysisManager`
     so the per-function register layout reuses cached dominator trees.
+
+    ``format_version`` selects the distribution layout through the
+    :mod:`repro.encode.format` registry: the default ``"stsa1"`` is the
+    bit-identical historical stream; ``"stsa2"`` wraps that stream in a
+    self-contained v2 envelope (dictionary factoring and deltas are
+    publisher batch operations -- see :func:`repro.encode.format.
+    encode_modules_v2` / ``encode_delta``).
     """
-    return _ModuleEncoder(module, size_report, analyses=analyses).encode()
+    wire = _ModuleEncoder(module, size_report, analyses=analyses).encode()
+    if format_version == "stsa1":
+        return wire
+    from repro.encode.format import FORMAT_BY_VERSION, encode_v2
+    if format_version not in FORMAT_BY_VERSION:
+        raise ValueError(f"unknown wire format version {format_version!r}")
+    return encode_v2(wire, store=store)

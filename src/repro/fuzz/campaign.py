@@ -9,10 +9,14 @@ Two campaign modes, both deterministic under a fixed seed:
   mutant against the reject-or-equivalent invariant
   (:mod:`repro.fuzz.mutate`); a finding is shrunk with
   :func:`repro.fuzz.minimize.minimize_bytes` and can be persisted as a
-  regression fixture.
+  regression fixture;
+* **streams-v2** -- the same invariant over wire-format v2
+  distribution units (shared-dictionary envelopes and deltas), with
+  envelope-targeted mutators and the campaign's own dictionary store.
 
 ``mode="all"`` runs a program campaign at a tenth of the budget plus a
-stream campaign at the full budget.
+v1 stream campaign at the full budget plus a v2 stream campaign at
+half budget.
 
 Determinism contract: iteration ``i`` of a program campaign uses
 generator seed ``seed * 1_000_003 + i``; a stream campaign draws every
@@ -29,7 +33,7 @@ from typing import Callable, Optional
 
 from repro.fuzz.gen import RandomSource, generate_seeded
 from repro.fuzz.minimize import minimize_bytes, minimize_lines, save_fixture
-from repro.fuzz.mutate import check_stream, mutate_stream
+from repro.fuzz.mutate import check_stream, mutate_stream, mutate_stream_v2
 from repro.fuzz.oracle import check_program
 
 #: deterministic seed programs whose encodings are the mutation bases;
@@ -223,6 +227,24 @@ def stream_bases() -> list[tuple[str, bytes]]:
     return bases
 
 
+def stream_bases_v2(store) -> list[tuple[str, bytes]]:
+    """Known-good *v2* distribution units over the same base programs:
+    per program, a shared-dictionary envelope pair (plain + optimised
+    factored against their common prefix) and a plain->optimised delta,
+    all resolvable through ``store``."""
+    from repro.encode.format import encode_delta, encode_modules_v2
+    bases = []
+    v1 = stream_bases()
+    for index in range(0, len(v1), 2):
+        (name, plain), (opt_name, optimized) = v1[index], v1[index + 1]
+        enveloped = encode_modules_v2([plain, optimized], store=store)
+        bases.append((f"{name}+v2", enveloped[0]))
+        bases.append((f"{opt_name}+v2", enveloped[1]))
+        bases.append((f"{name}+delta",
+                      encode_delta(plain, optimized, store=store)))
+    return bases
+
+
 # ======================================================================
 # the two campaign bodies
 
@@ -309,12 +331,69 @@ def _run_streams(result: CampaignResult, seed: int, budget: int,
     result.seconds["streams"] = time.perf_counter() - start
 
 
+def _run_streams_v2(result: CampaignResult, seed: int, budget: int,
+                    minimize: bool, fixtures_dir,
+                    on_progress: Optional[Callable]) -> None:
+    """The v2 lane: mutate envelope/delta units and classify against
+    the campaign's own dictionary store, so honest units decode and
+    every mutation must reject-or-stay-equivalent.  Draws from its own
+    stream (seed offset differs from the v1 lane) to keep both lanes
+    individually reproducible."""
+    from repro.cache import DictionaryStore
+    store = DictionaryStore()
+    bases = stream_bases_v2(store)
+    rng = RandomSource(seed * 2_147_483_659 + 29)
+    start = time.perf_counter()
+    for index in range(budget):
+        base_name, base = bases[rng.integer(0, len(bases) - 1)]
+        mutator, mutant = mutate_stream_v2(base, rng)
+        outcome = check_stream(mutant, store=store)
+        result.mutations += 1
+        result.mutator_counts[mutator] = \
+            result.mutator_counts.get(mutator, 0) + 1
+        result.taxonomy[outcome.code] = \
+            result.taxonomy.get(outcome.code, 0) + 1
+        if outcome.kind == "rejected":
+            result.rejected += 1
+        elif outcome.kind == "accepted":
+            result.accepted += 1
+        else:
+            minimized = mutant
+            if minimize:
+                code = outcome.code
+
+                def same_finding(candidate: bytes) -> bool:
+                    shrunk = check_stream(candidate, store=store)
+                    return shrunk.is_finding and shrunk.code == code
+
+                minimized = minimize_bytes(mutant, same_finding)
+            finding = StreamFinding(
+                base=base_name, mutator=mutator, code=outcome.code,
+                detail=outcome.detail, data=mutant, minimized=minimized)
+            result.stream_findings.append(finding)
+            if fixtures_dir is not None:
+                save_fixture(fixtures_dir, minimized, {
+                    "code": outcome.code,
+                    "detail": outcome.detail,
+                    "mutator": mutator,
+                    "base": base_name,
+                    "campaign_seed": seed,
+                    "lane": "v2",
+                })
+        if on_progress and (index + 1) % 1000 == 0:
+            on_progress(f"streams-v2 {index + 1}/{budget}, "
+                        f"{len(result.stream_findings)} finding(s)")
+    result.seconds["streams"] = \
+        result.seconds.get("streams", 0.0) + time.perf_counter() - start
+
+
 def run_campaign(seed: int = 0, budget: int = 1000, mode: str = "all", *,
                  minimize: bool = True, fixtures_dir=None,
                  on_progress: Optional[Callable] = None) -> CampaignResult:
     """Run one deterministic campaign; see the module docstring for the
-    budget/seed semantics."""
-    if mode not in ("programs", "streams", "all"):
+    budget/seed semantics.  ``mode="all"`` adds the v2 envelope lane at
+    half budget on top of the program and v1 stream lanes."""
+    if mode not in ("programs", "streams", "streams-v2", "all"):
         raise ValueError(f"unknown fuzz mode {mode!r}")
     result = CampaignResult(mode=mode, seed=seed, budget=budget)
     if mode in ("programs", "all"):
@@ -324,4 +403,9 @@ def run_campaign(seed: int = 0, budget: int = 1000, mode: str = "all", *,
     if mode in ("streams", "all"):
         _run_streams(result, seed, budget, minimize, fixtures_dir,
                      on_progress)
+    if mode in ("streams-v2", "all"):
+        v2_budget = budget if mode == "streams-v2" \
+            else max(1, budget // 2)
+        _run_streams_v2(result, seed, v2_budget, minimize, fixtures_dir,
+                        on_progress)
     return result

@@ -158,6 +158,66 @@ def mutate_stream(data: bytes, src: DrawSource) -> tuple[str, bytes]:
     return name, bytes(operator(bytearray(data), src))
 
 
+# ----------------------------------------------------------------------
+# v2 envelope operators: aimed at the fields the v1 operators only hit
+# by luck -- digests, the mode byte, the section counts
+
+def _v2_mode(data: bytearray, src: DrawSource) -> bytearray:
+    """Rewrite the envelope mode byte (full <-> delta <-> garbage)."""
+    from repro.encode.common import MAGIC_V2
+    position = len(MAGIC_V2)
+    if position >= len(data):
+        return _extend(data, src)
+    data[position] = src.integer(0, 255)
+    return data
+
+
+def _v2_count(data: bytearray, src: DrawSource) -> bytearray:
+    """Rewrite the first varint byte (dictionary count / prefix_len):
+    phantom sections, oversized counts, continuation-bit runs."""
+    from repro.encode.common import MAGIC_V2
+    position = len(MAGIC_V2) + 1
+    if position >= len(data):
+        return _extend(data, src)
+    data[position] = src.integer(0, 255)
+    return data
+
+
+def _v2_digest(data: bytearray, src: DrawSource) -> bytearray:
+    """Corrupt a digest byte -- either in the leading digest region
+    (dictionary refs / delta base) or in the trailing 32 bytes (the
+    delta target digest).  Content addressing must turn every such
+    corruption into a stable rejection, never a wrong blob."""
+    from repro.encode.common import MAGIC_V2
+    lo = len(MAGIC_V2) + 2
+    if lo >= len(data):
+        return _extend(data, src)
+    if len(data) > 40 and src.integer(0, 1):
+        position = src.integer(len(data) - 32, len(data) - 1)
+    else:
+        position = src.integer(lo, min(len(data) - 1, lo + 40))
+    data[position] ^= src.integer(1, 255)
+    return data
+
+
+#: the v2 lane: envelope-targeted operators plus every generic byte
+#: operator (envelopes must survive arbitrary corruption too)
+V2_MUTATORS: tuple[tuple[str, Callable], ...] = (
+    ("v2mode", _v2_mode),
+    ("v2count", _v2_count),
+    ("v2digest", _v2_digest),
+    ("v2digest", _v2_digest),   # weighted: digests are the new surface
+) + MUTATORS
+
+
+def mutate_stream_v2(data: bytes, src: DrawSource) -> tuple[str, bytes]:
+    """One mutation from the v2 lane (envelope-aware operator mix)."""
+    if not data:
+        return "extend", bytes(_extend(bytearray(), src))
+    name, operator = src.choice(V2_MUTATORS)
+    return name, bytes(operator(bytearray(data), src))
+
+
 # ======================================================================
 # the invariant checker
 
@@ -187,9 +247,15 @@ def _execute(module, max_steps: int):
     return None
 
 
-def check_stream(data: bytes, *,
-                 max_steps: int = EXEC_MAX_STEPS) -> StreamOutcome:
-    """Classify one stream against the reject-or-equivalent invariant."""
+def check_stream(data: bytes, *, max_steps: int = EXEC_MAX_STEPS,
+                 store=None) -> StreamOutcome:
+    """Classify one stream against the reject-or-equivalent invariant.
+
+    ``store`` resolves v2 envelopes (the v2 mutation lane passes the
+    campaign's dictionary store so honest envelopes decode and mutated
+    ones must reject); the default ``None`` uses the environment store,
+    under which digest references simply reject as missing.
+    """
     from repro.encode.deserializer import DecodeError, decode_module
     from repro.encode.serializer import encode_module
     from repro.interp.interpreter import (
@@ -199,7 +265,7 @@ def check_stream(data: bytes, *,
     from repro.tsa.verifier import VerifyError, verify_module
 
     try:
-        module = decode_module(data)
+        module = decode_module(data, store=store)
     except DecodeError as error:
         return StreamOutcome("rejected",
                              getattr(error, "code", "DEC-MALFORMED"),

@@ -11,6 +11,8 @@ pipeline            what it checks
 ``passes:<spec>``   each explicit pass spec (via CompilationSession)
 ``wire``            encode -> decode -> execute, plus re-encode
                     bit-identity (``encode(decode(w)) == w``)
+``wire-v2``         v2 envelope and delta resolve to the identical v1
+                    bytes, decode, verify, and execute identically
 ``jobs``            serial vs parallel per-function optimisation
                     produce bit-identical wire bytes
 ``jit``             consumer code generation on the decoded module
@@ -180,6 +182,35 @@ def check_program(source: str, main_class: Optional[str] = None, *,
                         f"{len(reencoded)} differing bytes",
                         "re-encode is not bit-identical")
     result.outcomes["reencode"] = ("bit-identical", None)
+
+    # v1-vs-v2 round trip: a dictionary envelope and a delta against
+    # the plain module's wire must both resolve to the very same v1
+    # bytes and behave identically
+    def run_wire_v2():
+        from repro.cache import DictionaryStore
+        from repro.encode.format import (
+            encode_delta,
+            encode_v2,
+            resolve_stream,
+        )
+        store = DictionaryStore()
+        units = [encode_v2(wire, (wire[:max(1, len(wire) // 2)],),
+                           store=store),
+                 encode_delta(session.encode(module), wire, store=store)]
+        for unit in units:
+            if resolve_stream(unit, store) != wire:
+                return ("v2 unit did not resolve to the v1 bytes", None)
+            decoded_v2 = decode_module(unit, store=store)
+            verify_module(decoded_v2)
+            observed = _observed(Interpreter(decoded_v2,
+                                             max_steps=max_steps)
+                                 .run_main(main_class))
+            if observed != reference:
+                return observed
+        return reference
+
+    if not compare("wire-v2", run_wire_v2):
+        return result
 
     # serial vs parallel optimisation: bit-identical artifacts
     def run_jobs():

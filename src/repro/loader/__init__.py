@@ -17,7 +17,10 @@ On top of the fused pass sit two consumer conveniences:
 * a **verified-module cache** (:class:`repro.cache.VerifiedModuleCache`)
   keyed on the wire-bytes digest: repeat loads skip the residual
   verification sweeps and gain random access to individual bodies --
-  which also enables ``jobs=N`` parallel body decoding.
+  which also enables ``jobs=N`` parallel body decoding;
+* **streaming decode** (:mod:`repro.loader.stream`): a chunk-feedable
+  front that verifies each body the moment its bits have arrived, so
+  ``main`` can execute while later bodies are still in flight.
 
 The legacy two-pass path is kept as the reference oracle; the
 differential gate in ``tests/test_loader.py`` holds the fused path to
@@ -25,5 +28,7 @@ verdict-for-verdict agreement with it.
 """
 
 from repro.loader.fused import ModuleLoader, load_module
+from repro.loader.stream import StreamingLoader, stream_module
 
-__all__ = ["ModuleLoader", "load_module"]
+__all__ = ["ModuleLoader", "StreamingLoader", "load_module",
+           "stream_module"]

@@ -167,8 +167,13 @@ class ModuleLoader:
     """
 
     def __init__(self, data: bytes, *, lazy: bool = False,
-                 jobs: Optional[int] = None, cache=None):
-        self.data = data
+                 jobs: Optional[int] = None, cache=None, store=None):
+        from repro.encode.format import resolve_stream
+        #: the distribution unit as delivered (possibly a v2 envelope)
+        self.raw = data
+        #: the v1 payload the verifying decoder consumes; envelope
+        #: resolution rejects here, before any decode state exists
+        self.data = resolve_stream(data, store)
         self.lazy = lazy
         self.jobs = jobs
         if cache is None:
@@ -264,7 +269,8 @@ def _decode_bodies_parallel(decoder: FusedDecoder, bodies,
 
 
 def load_module(data: bytes, *, lazy: bool = False,
-                jobs: Optional[int] = None, cache=None) -> Module:
+                jobs: Optional[int] = None, cache=None,
+                store=None) -> Module:
     """Load (and thereby verify) a SafeTSA distribution unit.
 
     ``lazy=True`` decodes the header eagerly and each function body on
@@ -272,6 +278,10 @@ def load_module(data: bytes, *, lazy: bool = False,
     one per CPU) on warm loads; a cold load is sequential by format
     necessity (no length prefixes) and ignores it.  ``cache`` is a
     :class:`repro.cache.VerifiedModuleCache`, ``None`` for the
-    environment default, or ``False`` to disable caching.
+    environment default, or ``False`` to disable caching.  ``store``
+    is the :class:`repro.cache.DictionaryStore` used to resolve v2
+    envelopes (``None`` for the environment default); v1 streams never
+    touch it.
     """
-    return ModuleLoader(data, lazy=lazy, jobs=jobs, cache=cache).load()
+    return ModuleLoader(data, lazy=lazy, jobs=jobs, cache=cache,
+                        store=store).load()

@@ -138,6 +138,31 @@ def _rebuild_edges_and_phis(function: Function) -> None:
             phi.drop_operands()
             for column in columns:
                 phi.add_operand(column[position])
-    # drop unreachable blocks entirely: they are no longer in the CST
+    # Drop blocks that fell out of the CST with the excised handlers.
+    # Pruning by *reachability* here would be wrong for nested dead
+    # tries: an outer dispatch can be unreachable while its RTry is
+    # still in the CST, and once dropped from ``function.blocks`` a
+    # later ``derive_cfg`` never resets its (now stale) exc preds, so
+    # the fixpoint in :func:`remove_dead_handlers` would stop before
+    # excising the outer try.  Blocks still referenced by the CST stay;
+    # they are removed on the iteration that excises their region.
+    kept = _cst_block_ids(function.cst)
     function.blocks = [block for block in function.blocks
-                       if block.id in reachable]
+                       if block.id in kept]
+
+
+def _cst_block_ids(root: Region) -> set[int]:
+    """Ids of every block referenced by the CST (incl. dispatch blocks)."""
+    ids: set[int] = set()
+    for region in iter_regions(root):
+        if isinstance(region, RBasic):
+            ids.add(region.block.id)
+        elif isinstance(region, RIf):
+            ids.add(region.cond_block.id)
+        elif isinstance(region, RWhile):
+            ids.add(region.header.id)
+        elif isinstance(region, RDoWhile):
+            ids.add(region.cond_block.id)
+        elif isinstance(region, RTry):
+            ids.add(region.dispatch_block.id)
+    return ids

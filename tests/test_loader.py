@@ -385,6 +385,21 @@ class TestCacheCorruptionSafety:
         module.functions.materialize_all()
         assert encode_module(module) == wire
 
+    def test_corrupt_version_byte_misses_and_rejects(self, tmp_path):
+        """The cache key covers the wire format version, so a stream
+        whose version byte was flipped can never reuse the honest
+        entry's boundary index -- it misses, decodes cold, and dies on
+        the magic check."""
+        wire = _encode(self.SOURCE, optimize=False)
+        cache = VerifiedModuleCache(str(tmp_path))
+        load_module(wire, cache=cache)  # publish the honest index
+        corrupt = bytes([wire[0] ^ 0xFF]) + wire[1:]
+        assert VerifiedModuleCache.key(corrupt) != \
+            VerifiedModuleCache.key(wire)
+        with pytest.raises(DecodeError) as info:
+            load_module(corrupt, cache=cache)
+        assert info.value.code == "DEC-MAGIC"
+
 
 # ======================================================================
 # lazy loading
@@ -476,7 +491,7 @@ class TestParallelDecode:
 
 
 SRC_ROOT = Path(__file__).parent.parent / "src" / "repro"
-_CODE_LITERAL = re.compile(r'"((?:DEC|STSA)-[A-Z]+(?:-\d+)?)"')
+_CODE_LITERAL = re.compile(r'"((?:DEC|STSA)-[A-Z]+(?:-[A-Z0-9]+)*)"')
 
 
 class TestCodeRegistry:

@@ -404,3 +404,43 @@ class TestDeadHandlerRemoval:
         verify_module(decoded)
         result = Interpreter(decoded).run_main("T")
         assert result.stdout == plain.stdout == "6\n"
+
+    def test_nested_dead_handlers_with_trapping_handlers(self):
+        # Found by the wire fuzz lane (seed 90): three nested tries
+        # where every handler still contains a live exception point.
+        # Excising the innermost try discards the mid dispatch's only
+        # exc predecessors; the mid and outer dispatches are then
+        # unreachable but still in the CST, so the fixpoint must keep
+        # re-deriving their edges rather than dropping them from the
+        # block list with stale preds — otherwise the outer try
+        # survives and the join phis keep operands for dead handler
+        # edges that the dominator-relative encoder cannot number.
+        from repro.encode.deserializer import decode_module
+        from repro.encode.serializer import encode_module
+        source = """
+        class T {
+            static int f(int d) {
+                int r = 9;
+                try {
+                    try {
+                        try { r = 84 / 2; }            // folds away
+                        catch (ArithmeticException e1) { r = 100 / d; }
+                    } catch (ArithmeticException e2) { r = 200 / d; }
+                } catch (ArithmeticException e3) { r = -1; }
+                return r;
+            }
+            static void main() {
+                System.out.println(f(0));
+            }
+        }
+        """
+        plain = Interpreter(compile_to_module(source)).run_main("T")
+        optimized = compile_to_module(source, optimize=True)
+        verify_module(optimized)
+        assert optimized.count_opcodes("caughtexc") == 0
+        wire = encode_module(optimized)
+        decoded = decode_module(wire)
+        verify_module(decoded)
+        assert encode_module(decoded) == wire
+        result = Interpreter(decoded).run_main("T")
+        assert result.stdout == plain.stdout == "42\n"
