@@ -5,11 +5,22 @@ PYTHON ?= python3
 # Targets work from a bare checkout too (no editable install needed).
 export PYTHONPATH := src:$(PYTHONPATH)
 
-.PHONY: test bench bench-smoke bench-analysis bench-pipeline bench-load \
-	bench-loops bench-wire fuzz-smoke lint-corpus tables examples all clean
+.PHONY: test test-unit test-campaign bench bench-smoke bench-analysis \
+	bench-pipeline bench-load bench-loops bench-wire bench-serve \
+	fuzz-smoke serve-smoke lint-corpus tables examples all clean
 
 test:
 	$(PYTHON) -m pytest tests/ -q
+
+# Fast lane: everything except the corpus/campaign tests (the `slow`
+# marker); this is what CI's unit shard runs on every matrix entry.
+test-unit:
+	$(PYTHON) -m pytest tests/ -q -m "not slow"
+
+# Campaign lane: only the long-running mutation campaigns and corpus
+# sweeps. test-unit + test-campaign together cover the full suite.
+test-campaign:
+	$(PYTHON) -m pytest tests/ -q -m slow
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only -q
@@ -47,11 +58,24 @@ bench-loops:
 bench-wire:
 	$(PYTHON) -m repro.bench.runner wire --smoke
 
+# Distribution-service benchmark: sustained req/s and p50/p99 latency
+# over a live server plus a compile-coalescing fan-in; writes
+# BENCH_serve.json and fails if coalescing stops collapsing identical
+# in-flight compiles or coalesced bytes diverge.
+bench-serve:
+	$(PYTHON) -m repro.bench.runner serve --smoke
+
 # Deterministic fuzzing smoke: differential oracle over generated
 # programs + wire-stream mutation under a fixed seed (~30 s); writes
 # BENCH_fuzz.json and fails on any reject-or-equivalent violation.
 fuzz-smoke:
 	$(PYTHON) -m repro.bench.runner fuzz --smoke
+
+# End-to-end serving smoke against a live HTTP server: full
+# compile/publish/fetch/verify/run lifecycle, hostile-stream
+# rejection, and rate-limit enforcement (~5 s).
+serve-smoke:
+	$(PYTHON) -m repro.serve.smoke
 
 # Lint every corpus program with the structured-diagnostics driver;
 # a non-zero exit (any error-severity diagnostic) fails the build.

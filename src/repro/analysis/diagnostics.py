@@ -56,8 +56,9 @@ class Severity:
 LAYER_DECODER = "decoder"
 LAYER_VERIFIER = "verifier"
 LAYER_LINT = "lint"
+LAYER_SERVE = "serve"
 
-LAYERS = (LAYER_DECODER, LAYER_VERIFIER, LAYER_LINT)
+LAYERS = (LAYER_DECODER, LAYER_VERIFIER, LAYER_LINT, LAYER_SERVE)
 
 #: The unified registry: code -> (layer, severity, one-line
 #: description).  Stable: codes are never renumbered, only appended.
@@ -199,14 +200,47 @@ STABLE_CODES: dict[str, tuple[str, str, str]] = {
                       "optimisation pass left the function ill-formed"),
     # -- generic fallback --------------------------------------------------
     "STSA-GEN-001": (LAYER_VERIFIER, Severity.ERROR, "unclassified well-formedness error"),
+    # ===== serve layer: distribution-service rejections ================
+    # (repro.serve -- structured error payloads, one code per failure
+    # class; docs/SERVE.md documents the HTTP mapping, and the
+    # reachability audit in tests/test_serve.py pins one fixture per
+    # code)
+    "SERVE-RATE": (LAYER_SERVE, Severity.ERROR,
+                   "per-tenant request rate quota exceeded"),
+    "SERVE-QUOTA-BYTES": (LAYER_SERVE, Severity.ERROR,
+                          "per-tenant stored-bytes quota exceeded"),
+    "SERVE-QUOTA-COMPILE": (LAYER_SERVE, Severity.ERROR,
+                            "per-tenant compile-seconds budget "
+                            "exhausted"),
+    "SERVE-NOT-FOUND": (LAYER_SERVE, Severity.ERROR,
+                        "no stored module or dictionary blob under the "
+                        "requested digest"),
+    "SERVE-BAD-REQUEST": (LAYER_SERVE, Severity.ERROR,
+                          "malformed request (bad JSON, missing field, "
+                          "or undecodable payload encoding)"),
+    "SERVE-ENDPOINT": (LAYER_SERVE, Severity.ERROR,
+                       "unknown endpoint or unsupported HTTP method"),
+    "SERVE-COMPILE": (LAYER_SERVE, Severity.ERROR,
+                      "submitted source program failed to compile"),
+    "SERVE-REJECTED": (LAYER_SERVE, Severity.ERROR,
+                       "module bytes rejected by the verifying loader "
+                       "(detail carries the DEC-* code)"),
+    "SERVE-CHAIN": (LAYER_SERVE, Severity.ERROR,
+                    "publish-log hash chain broken: an entry hash, "
+                    "prev link, or sequence number does not verify"),
+    "SERVE-SIG": (LAYER_SERVE, Severity.ERROR,
+                  "manifest signature does not verify against the "
+                  "publisher key"),
 }
 
 #: Derived verifier/lint view consumed by the diagnostic machinery:
-#: code -> (severity, description), decoder codes excluded.
+#: code -> (severity, description); decoder and serve codes excluded
+#: (those layers reject with their own exception types and never emit
+#: :class:`Diagnostic` records).
 DIAGNOSTIC_CODES: dict[str, tuple[str, str]] = {
     code: (severity, description)
     for code, (layer, severity, description) in STABLE_CODES.items()
-    if layer != LAYER_DECODER
+    if layer not in (LAYER_DECODER, LAYER_SERVE)
 }
 
 #: Documented equivalence classes for differential verdict comparison:

@@ -15,6 +15,7 @@ Usage::
     python -m repro.bench.runner load [--smoke] [--output PATH]
     python -m repro.bench.runner loops [--smoke] [--output PATH]
     python -m repro.bench.runner wire [--smoke] [--output PATH]
+    python -m repro.bench.runner serve [--smoke] [--output PATH]
     python -m repro.bench.runner all
 
 ``codec`` times the wire codec and the compilation cache and writes the
@@ -37,8 +38,13 @@ full pipeline with the tier never regresses the default; ``wire``
 and measures streaming vs eager time-to-first-execute on a simulated
 link, writes ``BENCH_wire.json``, and exits nonzero if v2 stops
 shrinking the corpus, deltas stop beating whole artifacts, or
-streaming TTFE exceeds eager; ``--smoke`` runs a reduced configuration
-(the CI setting).
+streaming TTFE exceeds eager; ``serve`` (E13) publishes the corpus
+through a live ``repro.serve`` server, measures sustained req/s and
+p50/p99 latency under a many-client mixed fetch/verify/audit workload,
+checks that N barrier-released identical compiles coalesce into ~one
+performed compilation with bit-identical digests, and writes
+``BENCH_serve.json``; ``--smoke`` runs a reduced configuration (the CI
+setting).
 
 Timed sections run best-of-N with a warmup pass (``REPRO_BENCH_REPEATS``
 overrides N, default 3): the minimum over repeats is the standard
@@ -497,6 +503,42 @@ def run_wire(argv=()) -> str:
     return text
 
 
+def run_serve(argv=()) -> str:
+    from repro.bench.serve import serve_report, serve_table
+    smoke = "--smoke" in argv
+    output = "BENCH_serve.json"
+    argv = [arg for arg in argv if arg != "--smoke"]
+    if "--output" in argv:
+        output = argv[argv.index("--output") + 1]
+    programs = ("BitSieve", "BinaryCode", "Scanner") if smoke else None
+    report = serve_report(programs,
+                          clients=4 if smoke else 8,
+                          requests_per_client=25 if smoke else 50,
+                          coalesce_clients=6 if smoke else 8)
+    with open(output, "w") as handle:
+        json.dump(report, handle, indent=2)
+        handle.write("\n")
+    header = (f"serve benchmark ({'smoke, ' if smoke else ''}"
+              f"{report['artifacts']} artifacts) -> {output}")
+    text = header + "\n\nE13: distribution-service throughput " \
+        "(concurrent clients over HTTP)\n\n" + serve_table(report)
+    guard = report["guard"]
+    if not guard["no_request_errors"]:
+        raise SystemExit(
+            text + "\nPERF GUARD: serving workload saw request "
+            f"errors: {report['serving']['errors'][:3]}")
+    if not guard["coalescing_single_compile"]:
+        raise SystemExit(
+            text + "\nPERF GUARD: identical concurrent compiles no "
+            "longer coalesce "
+            f"({report['coalescing']['compiles_performed']} performed)")
+    if not guard["coalesced_bit_identical"]:
+        raise SystemExit(
+            text + "\nPERF GUARD: coalesced compiles returned "
+            "divergent digests")
+    return text
+
+
 COMMANDS = {
     "figure5": run_figure5,
     "figure6": run_figure6,
@@ -513,7 +555,7 @@ def main(argv=None) -> int:
                                                     "analysis",
                                                     "pipeline", "fuzz",
                                                     "load", "loops",
-                                                    "wire"]:
+                                                    "wire", "serve"]:
         print(__doc__)
         return 2
     if argv[0] == "codec":
@@ -530,6 +572,8 @@ def main(argv=None) -> int:
         print(run_loops(argv[1:]))
     elif argv[0] == "wire":
         print(run_wire(argv[1:]))
+    elif argv[0] == "serve":
+        print(run_serve(argv[1:]))
     elif argv[0] == "all":
         for name, command in COMMANDS.items():
             print(command())
@@ -545,6 +589,8 @@ def main(argv=None) -> int:
         print(run_loops(argv[1:]))
         print()
         print(run_wire(argv[1:]))
+        print()
+        print(run_serve(argv[1:]))
     else:
         print(COMMANDS[argv[0]]())
     return 0

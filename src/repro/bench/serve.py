@@ -1,0 +1,197 @@
+"""E13: distribution-service throughput and latency.
+
+Starts a real :class:`~repro.serve.service.ServeServer` on an
+ephemeral port, publishes the corpus through it (v1 singles plus one
+shared-dictionary v2 batch), then hammers it with many concurrent
+clients issuing a fetch-heavy mixed workload -- the access pattern of
+a mobile-code install base: many consumers pulling and re-verifying
+artifacts, few producers publishing.  Reports sustained requests per
+second and the p50/p99 request latency, measured end to end through
+the HTTP stack (connection setup included: each client request is one
+connection, the worst case for the server).
+
+The **coalescing guard** is the correctness half: N clients released
+by a barrier all request the *same fresh compile*; the service must
+perform ~one underlying compilation (everything else coalesces onto
+the in-flight future or hits the settled compilation cache) and every
+client must receive the identical wire digest -- bit-identical bytes,
+the determinism contract of PR 4 carried over the network.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+
+from repro.bench.corpus import CORPUS_PROGRAMS, corpus_source
+from repro.serve import ServeClient, ServeServer, ServeService, TenantLimits
+
+#: quotas sized so the benchmark itself never trips them -- the
+#: benchmark measures capacity, the tests exercise rejection
+_BENCH_LIMITS = TenantLimits(requests_per_window=None,
+                             stored_bytes=None, compile_seconds=None)
+
+
+def _percentile(sorted_values: list, fraction: float) -> float:
+    if not sorted_values:
+        return 0.0
+    index = min(int(len(sorted_values) * fraction),
+                len(sorted_values) - 1)
+    return sorted_values[index]
+
+
+def serve_report(programs=None, *, clients: int = 8,
+                 requests_per_client: int = 50,
+                 coalesce_clients: int = 8) -> dict:
+    """All the numbers behind ``BENCH_serve.json``."""
+    programs = list(programs or CORPUS_PROGRAMS)
+    service = ServeService(limits=_BENCH_LIMITS)
+    server = ServeServer(service).start()
+    try:
+        return _measure(service, server, programs, clients,
+                        requests_per_client, coalesce_clients)
+    finally:
+        server.stop()
+
+
+def _measure(service: ServeService, server: ServeServer,
+             programs: list, clients: int, requests_per_client: int,
+             coalesce_clients: int) -> dict:
+    publisher = ServeClient("127.0.0.1", server.port, tenant="bench")
+
+    # -- publish the corpus: plain artifacts as v1 singles, optimised
+    # artifacts as one v2 batch sharing a dictionary
+    start = time.perf_counter()
+    digests = []
+    for name in programs:
+        entry = publisher.publish(name, source=corpus_source(name))
+        digests.append(entry["digest"])
+    batch = publisher.publish_batch(
+        [{"name": f"{name}.opt", "source": corpus_source(name),
+          "optimize": True} for name in programs], wire_v2=True)
+    digests.extend(entry["digest"] for entry in batch["published"])
+    publish_s = time.perf_counter() - start
+
+    # -- the mixed serving workload, one thread per client.  The mix is
+    # deterministic per request index: mostly fetches (the install
+    # path), some verifies (the paranoid consumer), some log reads
+    # (the auditor's incremental pull).
+    errors = []
+    latencies_by_client: list[list] = [[] for _ in range(clients)]
+
+    def client_worker(client_index: int) -> None:
+        client = ServeClient("127.0.0.1", server.port,
+                             tenant=f"bench-{client_index}")
+        latencies = latencies_by_client[client_index]
+        for request_index in range(requests_per_client):
+            digest = digests[(client_index + 3 * request_index)
+                             % len(digests)]
+            kind = request_index % 10
+            begin = time.perf_counter()
+            try:
+                if kind < 6:
+                    client.fetch(digest)
+                elif kind < 9:
+                    client.verify(digest=digest)
+                else:
+                    client.log_entries()
+            except Exception as error:  # any failure fails the guard
+                errors.append(f"client {client_index} "
+                              f"request {request_index}: {error}")
+                return
+            latencies.append(time.perf_counter() - begin)
+
+    start = time.perf_counter()
+    with ThreadPoolExecutor(max_workers=clients) as pool:
+        for _ in pool.map(client_worker, range(clients)):
+            pass
+    serving_s = time.perf_counter() - start
+    latencies = sorted(lat for per_client in latencies_by_client
+                       for lat in per_client)
+
+    # -- coalescing guard: one fresh source, N simultaneous compiles
+    marker = f"{len(digests)}{serving_s:.0f}".replace(".", "")
+    fresh_source = (f"class Main {{ static int main() "
+                    f"{{ int x = {marker}; int y = 0; "
+                    f"for (int i = 0; i < x; i = i + 1) "
+                    f"{{ y = y + i; }} return y; }} }}")
+    performed_before = service.counters["compiles_performed"]
+    barrier = threading.Barrier(coalesce_clients)
+    coalesce_digests: list = [None] * coalesce_clients
+
+    def coalesce_worker(index: int) -> None:
+        client = ServeClient("127.0.0.1", server.port,
+                             tenant="coalesce")
+        barrier.wait()
+        result = client.compile(fresh_source, optimize=True)
+        coalesce_digests[index] = result["digest"]
+
+    with ThreadPoolExecutor(max_workers=coalesce_clients) as pool:
+        for _ in pool.map(coalesce_worker, range(coalesce_clients)):
+            pass
+    performed = service.counters["compiles_performed"] \
+        - performed_before
+    identical = len(set(coalesce_digests)) == 1 \
+        and coalesce_digests[0] is not None
+
+    total_requests = sum(len(per) for per in latencies_by_client)
+    stats = service.counters
+    return {
+        "programs": programs,
+        "artifacts": len(digests),
+        "publish": {
+            "modules": len(digests),
+            "seconds": round(publish_s, 4),
+            "v2_batch_dictionaries": batch["dictionaries"],
+        },
+        "serving": {
+            "clients": clients,
+            "requests_per_client": requests_per_client,
+            "requests": total_requests,
+            "seconds": round(serving_s, 4),
+            "req_per_s": round(total_requests / serving_s, 1)
+            if serving_s else None,
+            "p50_ms": round(_percentile(latencies, 0.50) * 1000, 3),
+            "p99_ms": round(_percentile(latencies, 0.99) * 1000, 3),
+            "errors": errors,
+        },
+        "coalescing": {
+            "concurrent_clients": coalesce_clients,
+            "compiles_performed": performed,
+            "coalesced_or_cached": coalesce_clients - performed,
+            "identical_digests": identical,
+        },
+        "server_counters": dict(stats),
+        "guard": {
+            # one barrier-released fan-in must cost ~one compile; two
+            # tolerates the scheduler landing one request after the
+            # winner already settled into the compilation cache
+            "coalescing_single_compile": 1 <= performed <= 2,
+            "coalesced_bit_identical": identical,
+            "no_request_errors": not errors,
+        },
+    }
+
+
+def serve_table(report: dict) -> str:
+    serving = report["serving"]
+    coalescing = report["coalescing"]
+    lines = [
+        f"{'corpus artifacts published':34} {report['artifacts']:>8}",
+        f"{'publish wall-clock':34} "
+        f"{report['publish']['seconds']:>7.2f}s",
+        f"{'concurrent clients':34} {serving['clients']:>8}",
+        f"{'requests served':34} {serving['requests']:>8}",
+        f"{'sustained throughput':34} "
+        f"{serving['req_per_s']:>6.1f}/s",
+        f"{'latency p50':34} {serving['p50_ms']:>6.2f}ms",
+        f"{'latency p99':34} {serving['p99_ms']:>6.2f}ms",
+        f"{'coalescing: concurrent compiles':34} "
+        f"{coalescing['concurrent_clients']:>8}",
+        f"{'coalescing: compiles performed':34} "
+        f"{coalescing['compiles_performed']:>8}",
+        f"{'coalescing: identical digests':34} "
+        f"{str(coalescing['identical_digests']):>8}",
+    ]
+    return "\n".join(lines)

@@ -4,15 +4,27 @@ Subcommands::
 
     repro-cc compile FILE.java -o FILE.stsa [--optimize] [--passes SPEC]
                      [--jobs N] [--no-prune] [--report] [--wire-v2]
-    repro-cc run     FILE.java|FILE.stsa [--class NAME] [--optimize]
+    repro-cc run     FILE.java|FILE.stsa|- [--class NAME] [--optimize]
+                     [--stream]
     repro-cc disasm  FILE.java|FILE.stsa [--optimize]
     repro-cc verify  FILE.stsa
     repro-cc lint    FILE.java|FILE.stsa [--json] [--optimize]
     repro-cc stats   FILE.java
     repro-cc bench   figure5|figure6|pruning|ablation|verifycost|codec|
-                     analysis|pipeline|fuzz|load|wire|all
+                     analysis|pipeline|fuzz|load|wire|serve|all
     repro-cc fuzz    [--seed S] [--budget N] [--mode programs|streams|all]
                      [--fixtures DIR] [--json PATH] [--no-minimize] [-q]
+    repro-cc serve   [--host H] [--port P] [--store DIR] [--key HEX]
+    repro-cc publish FILE.java|FILE.stsa --name N --url URL [--optimize]
+    repro-cc fetch   DIGEST --url URL [-o FILE] [--run]
+
+``run --stream`` consumes the wire from stdin in chunks through the
+incremental :class:`~repro.loader.stream.StreamingLoader` -- execution
+can begin while later chunks are still arriving, and a truncated or
+tampered stream is rejected with the same stable codes as a one-shot
+load.  ``serve`` starts the :mod:`repro.serve` distribution service;
+``publish``/``fetch`` are its producer/consumer clients (``fetch``
+re-verifies the content address of whatever the server returns).
 """
 
 from __future__ import annotations
@@ -71,10 +83,38 @@ def cmd_compile(args) -> int:
     return 0
 
 
+def _load_streaming(chunk_size: int) -> "object":
+    """Feed stdin through the incremental loader chunk by chunk."""
+    from repro.loader.stream import StreamingLoader
+    loader = StreamingLoader()
+    stdin = sys.stdin.buffer
+    while True:
+        chunk = stdin.read(chunk_size)
+        if not chunk:
+            break
+        # feed() hands back the module as soon as the header is
+        # decoded (bodies stream in behind it); the CLI runs to
+        # completion, so keep feeding and let finish() check the tail
+        loader.feed(chunk)
+    return loader.finish()
+
+
 def cmd_run(args) -> int:
     from repro.interp.interpreter import Interpreter
-    module = _load_module(args.file, args.optimize, jobs=args.jobs,
-                          lazy=args.lazy)
+    if args.stream:
+        if args.file not in ("-", "/dev/stdin"):
+            print("--stream reads the wire from stdin; "
+                  "pass '-' as FILE", file=sys.stderr)
+            return 2
+        from repro.encode.deserializer import DecodeError
+        try:
+            module = _load_streaming(args.chunk_size)
+        except DecodeError as error:
+            print(f"REJECTED: {error}", file=sys.stderr)
+            return 1
+    else:
+        module = _load_module(args.file, args.optimize, jobs=args.jobs,
+                              lazy=args.lazy)
     interp = Interpreter(module, max_steps=args.max_steps)
     result = interp.run_main(getattr(args, "class"))
     sys.stdout.write(result.stdout)
@@ -183,6 +223,75 @@ def cmd_fuzz(args) -> int:
     return 0 if result.ok else 1
 
 
+def cmd_serve(args) -> int:
+    from repro.serve import ServeServer, ServeService, TenantLimits
+    limits = TenantLimits() if not args.no_limits else \
+        TenantLimits(requests_per_window=None, stored_bytes=None,
+                     compile_seconds=None)
+    service = ServeService(store_dir=args.store,
+                           signing_key=bytes.fromhex(args.key)
+                           if args.key else b"repro-serve-dev-key",
+                           limits=limits)
+    server = ServeServer(service, host=args.host, port=args.port)
+    print(f"repro-serve: listening on {args.host}:{args.port or '?'}"
+          f" (store: {args.store or 'memory'})", flush=True)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
+def cmd_publish(args) -> int:
+    from repro.serve import ServeClient, ServeError
+    client = ServeClient.for_url(args.url, tenant=args.tenant)
+    try:
+        if args.file.endswith((".stsa", ".bin")):
+            entry = client.publish(args.name,
+                                   wire=Path(args.file).read_bytes())
+        else:
+            entry = client.publish(args.name,
+                                   source=Path(args.file).read_text(),
+                                   optimize=args.optimize,
+                                   wire_v2=args.wire_v2)
+    except ServeError as error:
+        print(f"REJECTED: {error}", file=sys.stderr)
+        return 1
+    manifest = entry["entry"]["manifest"]
+    print(f"published {args.name}: seq {entry['seq']}, "
+          f"{manifest['size']} bytes ({manifest['format']})")
+    print(f"digest {entry['digest']}")
+    print(f"head   {entry['head']}")
+    return 0
+
+
+def cmd_fetch(args) -> int:
+    from repro.interp.interpreter import Interpreter
+    from repro.loader import load_module
+    from repro.serve import ServeClient, ServeError
+    client = ServeClient.for_url(args.url, tenant=args.tenant)
+    try:
+        wire = client.fetch(args.digest)  # digest re-verified locally
+    except ServeError as error:
+        print(f"REJECTED: {error}", file=sys.stderr)
+        return 1
+    if args.output:
+        Path(args.output).write_bytes(wire)
+        print(f"{args.output}: {len(wire)} bytes "
+              f"(digest verified)")
+    if args.run:
+        result = Interpreter(load_module(wire)).run_main(
+            getattr(args, "class"))
+        sys.stdout.write(result.stdout)
+        if result.exception is not None:
+            print(f"Exception in thread \"main\" "
+                  f"{result.exception_name()}", file=sys.stderr)
+            return 1
+    elif not args.output:
+        sys.stdout.buffer.write(wire)
+    return 0
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro-cc",
@@ -222,6 +331,12 @@ def main(argv=None) -> int:
                    help="decode .stsa bodies across N threads on warm "
                         "loads (0 = one per CPU); for .java inputs, "
                         "optimize across N threads")
+    p.add_argument("--stream", action="store_true",
+                   help="read the wire from stdin in chunks through "
+                        "the incremental streaming loader (FILE must "
+                        "be '-')")
+    p.add_argument("--chunk-size", type=int, default=4096, metavar="N",
+                   help="stdin read granularity for --stream")
     p.set_defaults(fn=cmd_run)
 
     p = sub.add_parser("disasm", help="print SafeTSA disassembly")
@@ -253,7 +368,7 @@ def main(argv=None) -> int:
                                      "ablation", "verifycost",
                                      "jitspeed", "codec", "analysis",
                                      "pipeline", "fuzz", "load", "wire",
-                                     "all"])
+                                     "serve", "all"])
     p.set_defaults(fn=cmd_bench)
 
     p = sub.add_parser(
@@ -277,6 +392,47 @@ def main(argv=None) -> int:
     p.add_argument("-q", "--quiet", action="store_true",
                    help="suppress progress lines")
     p.set_defaults(fn=cmd_fuzz)
+
+    p = sub.add_parser(
+        "serve", help="start the mobile-code distribution service")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=8737)
+    p.add_argument("--store", default=None, metavar="DIR",
+                   help="persist modules + publish log under DIR "
+                        "(default: memory only)")
+    p.add_argument("--key", default=None, metavar="HEX",
+                   help="publisher signing key (hex); default is the "
+                        "well-known development key")
+    p.add_argument("--no-limits", action="store_true",
+                   help="disable per-tenant quotas")
+    p.set_defaults(fn=cmd_serve)
+
+    p = sub.add_parser(
+        "publish", help="compile/upload a module to a serve instance")
+    p.add_argument("file", help=".java source or pre-built .stsa wire")
+    p.add_argument("--name", required=True,
+                   help="module name recorded in the signed manifest")
+    p.add_argument("--url", required=True,
+                   help="serve instance, e.g. http://127.0.0.1:8737")
+    p.add_argument("--tenant", default="cli")
+    p.add_argument("--optimize", action="store_true")
+    p.add_argument("--wire-v2", action="store_true",
+                   help="publish as a wire-format v2 envelope")
+    p.set_defaults(fn=cmd_publish)
+
+    p = sub.add_parser(
+        "fetch", help="download (and optionally run) a published module")
+    p.add_argument("digest", help="content address from publish")
+    p.add_argument("--url", required=True)
+    p.add_argument("--tenant", default="cli")
+    p.add_argument("-o", "--output", default=None,
+                   help="write the verified wire bytes to FILE "
+                        "(default: stdout)")
+    p.add_argument("--run", action="store_true",
+                   help="load and execute the fetched module")
+    p.add_argument("--class", default=None,
+                   help="class whose main to run with --run")
+    p.set_defaults(fn=cmd_fetch)
 
     args = parser.parse_args(argv)
     return args.fn(args)

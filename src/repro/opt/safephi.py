@@ -62,11 +62,16 @@ def _insertion_point(home, origin) -> Optional[int]:
 def run_safe_phi_propagation(function: Function) -> int:
     """Promote provably-non-null ref phis to safe planes; returns the
     number of promoted phis."""
-    candidates: set[Phi] = set()
+    # Insertion-ordered (block order, phi order within a block), not a
+    # set: the commit loop below inserts compensating casts while
+    # iterating, and a hash-ordered walk over Phi objects would make
+    # the emitted instruction order — and hence the wire bytes — depend
+    # on heap addresses.
+    candidates: dict[Phi, None] = {}
     for block in function.reachable_blocks():
         for phi in block.phis:
             if phi.plane.kind == "ref":
-                candidates.add(phi)
+                candidates[phi] = None
 
     # greatest fixpoint: discard phis with any unsafe incoming value
     changed = True
@@ -81,7 +86,7 @@ def run_safe_phi_propagation(function: Function) -> int:
                     continue
                 if _safe_origin(operand) is not None:
                     continue
-                candidates.discard(phi)
+                candidates.pop(phi, None)
                 changed = True
                 break
 
@@ -94,7 +99,7 @@ def run_safe_phi_propagation(function: Function) -> int:
         plan = _plan_for(phi, candidates)
         if plan is None:
             # placement impossible: drop and restart the fixpoint
-            candidates.discard(phi)
+            candidates.pop(phi, None)
             return run_safe_phi_propagation(function) if candidates \
                 else 0
         plans[phi] = plan
@@ -128,7 +133,7 @@ def run_safe_phi_propagation(function: Function) -> int:
     return len(candidates)
 
 
-def _plan_for(phi: Phi, candidates: set) -> Optional[list]:
+def _plan_for(phi: Phi, candidates) -> Optional[list]:
     safe_plane = Plane.safe(phi.plane.type)
     plan = []
     for index, operand in enumerate(phi.operands):

@@ -1,0 +1,204 @@
+"""The auditing client: HTTP access plus client-side verification.
+
+A SafeTSA consumer never extends trust to the distribution channel --
+the loader re-verifies every byte it decodes.  :class:`ServeClient`
+applies the same posture to serving metadata: ``fetch`` re-hashes the
+returned bytes against the requested digest (a store that serves the
+wrong bytes is detected, not believed), and ``audit`` replays the
+publish log through :func:`repro.serve.log.audit_chain` locally --
+chain linkage, dense sequence numbers, manifest shape, and (given the
+publisher key) manifest signatures are all checked on the client's own
+CPU.  A server that edits a historical entry or splices the chain
+fails the client's audit even though every individual response it sent
+was well-formed JSON.
+
+Server-side rejections arrive as the stable error envelope and are
+re-raised as :class:`~repro.serve.errors.ServeError`, so client code
+handles local and remote failures through one exception type with one
+code taxonomy.
+
+Transport is deliberately boring: one stdlib ``http.client``
+connection per request (thread-safe by construction -- the conformance
+suite and the benchmark both hammer one server from many threads).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import base64
+import json
+from http.client import HTTPConnection
+from typing import Optional
+
+from repro.serve.errors import ServeError
+from repro.serve.log import GENESIS, audit_chain
+from repro.serve.store import wire_digest
+
+
+class ServeClient:
+    """A blocking JSON client for one ``repro.serve`` endpoint set."""
+
+    def __init__(self, host: str, port: int, *,
+                 tenant: str = "public", timeout: float = 30.0):
+        self.host = host
+        self.port = port
+        self.tenant = tenant
+        self.timeout = timeout
+
+    @classmethod
+    def for_url(cls, url: str, **kwargs) -> "ServeClient":
+        from urllib.parse import urlsplit
+        parts = urlsplit(url)
+        return cls(parts.hostname or "127.0.0.1", parts.port or 80,
+                   **kwargs)
+
+    # -- transport ------------------------------------------------------
+
+    def request(self, method: str, path: str,
+                payload: Optional[dict] = None) -> dict:
+        """One round trip; error envelopes re-raise as ServeError."""
+        body = None
+        headers = {"Connection": "close"}
+        if payload is not None:
+            payload = dict(payload)
+            payload.setdefault("tenant", self.tenant)
+            body = json.dumps(payload).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        elif method.upper() == "GET" and "tenant=" not in path:
+            sep = "&" if "?" in path else "?"
+            path = f"{path}{sep}tenant={self.tenant}"
+        conn = HTTPConnection(self.host, self.port,
+                              timeout=self.timeout)
+        try:
+            conn.request(method.upper(), path, body=body,
+                         headers=headers)
+            response = conn.getresponse()
+            data = json.loads(response.read().decode("utf-8"))
+        finally:
+            conn.close()
+        if "error" in data:
+            raise ServeError.from_payload(data)
+        return data
+
+    # -- endpoint wrappers ----------------------------------------------
+
+    def healthz(self) -> dict:
+        return self.request("GET", "/v1/healthz")
+
+    def stats(self) -> dict:
+        return self.request("GET", "/v1/stats")
+
+    def compile(self, source: str, *, optimize: bool = False,
+                passes: Optional[str] = None, wire_v2: bool = False,
+                return_bytes: bool = False) -> dict:
+        payload = {"source": source, "optimize": optimize,
+                   "wire_v2": wire_v2, "return_bytes": return_bytes}
+        if passes is not None:
+            payload["passes"] = passes
+        result = self.request("POST", "/v1/compile", payload)
+        if return_bytes:
+            result["wire"] = base64.b64decode(result.pop("wire_b64"))
+        return result
+
+    def publish(self, name: str, *, source: Optional[str] = None,
+                wire: Optional[bytes] = None, optimize: bool = False,
+                passes: Optional[str] = None,
+                wire_v2: bool = False) -> dict:
+        payload: dict = {"name": name}
+        if wire is not None:
+            payload["wire_b64"] = \
+                base64.b64encode(wire).decode("ascii")
+        elif source is not None:
+            payload.update(source=source, optimize=optimize,
+                           wire_v2=wire_v2)
+            if passes is not None:
+                payload["passes"] = passes
+        else:
+            raise ValueError("publish needs source or wire")
+        return self.request("POST", "/v1/publish", payload)
+
+    def publish_batch(self, modules: list, *,
+                      wire_v2: bool = True) -> dict:
+        return self.request("POST", "/v1/publish",
+                            {"modules": modules, "wire_v2": wire_v2})
+
+    def fetch(self, digest: str) -> bytes:
+        """Fetch a module and *re-verify* its content address -- bytes
+        that do not hash to the requested digest are refused."""
+        result = self.request("GET", f"/v1/fetch/{digest}")
+        wire = base64.b64decode(result["wire_b64"])
+        if wire_digest(wire) != digest:
+            raise ServeError(
+                f"fetched bytes hash to {wire_digest(wire)[:16]}..., "
+                f"not the requested {digest[:16]}...", "SERVE-CHAIN",
+                {"requested": digest, "received": wire_digest(wire)})
+        return wire
+
+    def fetch_dictionary(self, digest: str) -> bytes:
+        result = self.request("GET", f"/v1/dict/{digest}")
+        blob = base64.b64decode(result["blob_b64"])
+        if hashlib.sha256(blob).hexdigest() != digest:
+            raise ServeError(
+                f"dictionary bytes do not hash to {digest[:16]}...",
+                "SERVE-CHAIN", {"requested": digest})
+        return blob
+
+    def verify(self, *, digest: Optional[str] = None,
+               wire: Optional[bytes] = None) -> dict:
+        return self.request("POST", "/v1/verify",
+                            self._unit(digest, wire))
+
+    def run(self, *, digest: Optional[str] = None,
+            wire: Optional[bytes] = None,
+            class_name: Optional[str] = None,
+            max_steps: Optional[int] = None) -> dict:
+        payload = self._unit(digest, wire)
+        if class_name is not None:
+            payload["class"] = class_name
+        if max_steps is not None:
+            payload["max_steps"] = max_steps
+        return self.request("POST", "/v1/run", payload)
+
+    @staticmethod
+    def _unit(digest: Optional[str], wire: Optional[bytes]) -> dict:
+        if digest is not None:
+            return {"digest": digest}
+        if wire is not None:
+            return {"wire_b64": base64.b64encode(wire).decode("ascii")}
+        raise ValueError("need digest or wire")
+
+    # -- the audit path -------------------------------------------------
+
+    def log_entries(self, since: int = 0) -> dict:
+        return self.request("GET", f"/v1/log?since={since}")
+
+    def audit(self, *, key: Optional[bytes] = None,
+              expect_head: Optional[str] = None) -> str:
+        """Fetch the full log and audit it locally; returns the head.
+
+        The server's claimed head must equal the head *recomputed from
+        the entries* -- a server cannot assert one history and serve
+        another.  With ``key``, manifest signatures are checked too;
+        with ``expect_head`` (a previously pinned head), any rewrite of
+        already-seen history raises ``SERVE-CHAIN``.
+        """
+        result = self.log_entries(0)
+        head = audit_chain(result["entries"], key=key)
+        if head != result.get("head", GENESIS):
+            raise ServeError(
+                "server-claimed head does not match the entries it "
+                "served", "SERVE-CHAIN",
+                {"claimed": result.get("head"), "recomputed": head})
+        if expect_head is not None and expect_head != GENESIS:
+            # a pinned head must still be *reachable*: some prefix of
+            # the served (already chain-valid) entries must hash to it
+            from repro.serve.log import entry_hash
+            prefix_heads = [entry_hash(entry)
+                            for entry in result["entries"]]
+            if expect_head not in prefix_heads:
+                raise ServeError(
+                    "pinned head is not on the served chain -- "
+                    "history was rewritten", "SERVE-CHAIN",
+                    {"pinned": expect_head,
+                     "claimed": result.get("head")})
+        return head

@@ -1,0 +1,127 @@
+"""Per-tenant quotas: request rate, stored bytes, compile seconds.
+
+Serving hostile-adjacent traffic means no tenant may exhaust a shared
+resource: the three quotas bound the three ways a client can spend
+server capacity -- request frequency (a fixed window counter), bytes
+parked in the module store (a monotone meter; content-addressed storage
+is deduplicated, so a tenant is only charged for bytes it introduced),
+and producer CPU (compile wall-seconds; cache and coalescing hits are
+free, which is exactly the incentive we want).
+
+Every check either passes or raises :class:`ServeError` with the
+matching stable code (``SERVE-RATE`` / ``SERVE-QUOTA-BYTES`` /
+``SERVE-QUOTA-COMPILE``).  The clock is injectable so the conformance
+suite drives the rate window deterministically
+(:class:`ManualClock` in ``tests/conftest.py``'s ``serve_client``
+fixture); production uses ``time.monotonic``.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from repro.serve.errors import ServeError
+
+
+class ManualClock:
+    """A clock that moves only when told to -- deterministic tests."""
+
+    def __init__(self, start: float = 0.0):
+        self.now = float(start)
+
+    def advance(self, seconds: float) -> float:
+        self.now += seconds
+        return self.now
+
+    def __call__(self) -> float:
+        return self.now
+
+
+@dataclass(frozen=True)
+class TenantLimits:
+    """The per-tenant budget.  ``None`` disables that quota."""
+
+    requests_per_window: Optional[int] = 600
+    window_seconds: float = 60.0
+    stored_bytes: Optional[int] = 64 * 1024 * 1024
+    compile_seconds: Optional[float] = 120.0
+
+
+class QuotaManager:
+    """Meters every tenant against one :class:`TenantLimits`."""
+
+    def __init__(self, limits: Optional[TenantLimits] = None, *,
+                 clock: Callable[[], float] = time.monotonic):
+        self.limits = limits or TenantLimits()
+        self._clock = clock
+        #: tenant -> (window start, requests in window)
+        self._windows: dict[str, tuple[float, int]] = {}
+        self._stored: dict[str, int] = {}
+        self._compile: dict[str, float] = {}
+
+    # -- request rate ---------------------------------------------------
+
+    def check_rate(self, tenant: str) -> None:
+        """Count one request; reject once the window budget is spent."""
+        budget = self.limits.requests_per_window
+        if budget is None:
+            return
+        now = self._clock()
+        start, count = self._windows.get(tenant, (now, 0))
+        if now - start >= self.limits.window_seconds:
+            start, count = now, 0
+        if count >= budget:
+            raise ServeError(
+                f"tenant {tenant!r} exceeded {budget} requests per "
+                f"{self.limits.window_seconds:g}s window", "SERVE-RATE",
+                {"tenant": tenant, "limit": budget,
+                 "window_seconds": self.limits.window_seconds})
+        self._windows[tenant] = (start, count + 1)
+
+    # -- stored bytes ---------------------------------------------------
+
+    def charge_stored(self, tenant: str, nbytes: int) -> None:
+        """Charge ``nbytes`` of new store growth to ``tenant``."""
+        limit = self.limits.stored_bytes
+        used = self._stored.get(tenant, 0)
+        if limit is not None and used + nbytes > limit:
+            raise ServeError(
+                f"tenant {tenant!r} would store {used + nbytes} bytes "
+                f"(limit {limit})", "SERVE-QUOTA-BYTES",
+                {"tenant": tenant, "limit": limit, "used": used,
+                 "requested": nbytes})
+        self._stored[tenant] = used + nbytes
+
+    # -- compile seconds ------------------------------------------------
+
+    def check_compile(self, tenant: str) -> None:
+        """Reject before starting a compile for an exhausted tenant."""
+        limit = self.limits.compile_seconds
+        used = self._compile.get(tenant, 0.0)
+        if limit is not None and used >= limit:
+            raise ServeError(
+                f"tenant {tenant!r} spent {used:.3f}s of its "
+                f"{limit:g}s compile budget", "SERVE-QUOTA-COMPILE",
+                {"tenant": tenant, "limit": limit,
+                 "used": round(used, 6)})
+
+    def charge_compile(self, tenant: str, seconds: float) -> None:
+        self._compile[tenant] = \
+            self._compile.get(tenant, 0.0) + max(seconds, 0.0)
+
+    # -- reporting ------------------------------------------------------
+
+    def usage(self, tenant: str) -> dict:
+        window = self._windows.get(tenant)
+        return {
+            "tenant": tenant,
+            "requests_in_window": window[1] if window else 0,
+            "stored_bytes": self._stored.get(tenant, 0),
+            "compile_seconds": round(self._compile.get(tenant, 0.0), 6),
+        }
+
+    def tenants(self) -> list[str]:
+        names = set(self._windows) | set(self._stored) | set(self._compile)
+        return sorted(names)

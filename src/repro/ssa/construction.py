@@ -126,7 +126,12 @@ class SsaBuilder:
         self._breakables: list[_Breakable] = []
         self._exc_stack: list[Optional[Block]] = [None]
         self._pending_eager: set[LocalVar] = set()
-        self._assigned_memo: dict[int, frozenset] = {}
+        #: id(node) -> (node, assigned vars).  The node itself is kept
+        #: in the entry: lowering builds throwaway synthetic UAST nodes
+        #: (do-while/for wrappers), and without the pin a collected
+        #: node's id can be recycled by a later synthetic node, making
+        #: the memo return the *previous* node's variable set.
+        self._assigned_memo: dict[int, tuple[u.UStmt, frozenset]] = {}
 
     # ==================================================================
     # top level
@@ -340,9 +345,10 @@ class SsaBuilder:
             same = operand
         if same is None:
             return phi  # self-referential only; unreachable loop artifact
-        users = [user for user in phi.users
-                 if isinstance(user, Phi) and user is not phi
-                 and not user.is_eager]
+        users = sorted((user for user in phi.users
+                        if isinstance(user, Phi) and user is not phi
+                        and not user.is_eager),
+                       key=lambda user: user.id)
         phi.replace_all_uses(same)
         phi.removed = True
         phi.replacement = same
@@ -400,7 +406,7 @@ class SsaBuilder:
     def _assigned_vars(self, node: u.UStmt) -> frozenset:
         memo = self._assigned_memo.get(id(node))
         if memo is not None:
-            return memo
+            return memo[1]
         out: set[LocalVar] = set()
         if isinstance(node, u.SBlock):
             for inner in node.stmts:
@@ -419,7 +425,7 @@ class SsaBuilder:
                 out.add(catch.local)
                 out |= self._assigned_vars(catch.body)
         result = frozenset(out)
-        self._assigned_memo[id(node)] = result
+        self._assigned_memo[id(node)] = (node, result)
         return result
 
     # ==================================================================

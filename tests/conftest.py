@@ -31,3 +31,39 @@ def main_wrap(body: str, extra: str = "") -> str:
 @pytest.fixture
 def compile_module():
     return compile_to_module
+
+
+# ----------------------------------------------------------------------
+# serving fixtures: one in-process server on an ephemeral port, with a
+# deterministic clock so rate windows and manifest timestamps replay
+# identically across runs
+
+#: the signing key every serve fixture publishes under
+SERVE_TEST_KEY = b"conformance-suite-key"
+
+
+@pytest.fixture
+def serve_stack():
+    """(service, server, clock) with quotas generous enough for the
+    conformance suite; quota-specific tests build their own stack."""
+    from repro.serve import (ManualClock, ServeServer, ServeService,
+                             TenantLimits)
+    clock = ManualClock()
+    service = ServeService(
+        signing_key=SERVE_TEST_KEY, clock=clock,
+        limits=TenantLimits(requests_per_window=100_000,
+                            stored_bytes=256 * 1024 * 1024,
+                            compile_seconds=600.0))
+    server = ServeServer(service).start()
+    try:
+        yield service, server, clock
+    finally:
+        server.stop()
+
+
+@pytest.fixture
+def serve_client(serve_stack):
+    """A connected client for the shared in-process server."""
+    from repro.serve import ServeClient
+    _service, server, _clock = serve_stack
+    return ServeClient("127.0.0.1", server.port, tenant="test")

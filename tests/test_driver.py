@@ -304,6 +304,47 @@ class TestParallelDeterminism:
         assert parallel_wire == serial_wire
         assert parallel_reports == serial_reports
 
+    def test_rebuild_is_bit_identical_under_heap_churn(self):
+        # Regression: SSA construction memoized assigned-variable sets
+        # by id(node); do-while/for lowering builds throwaway synthetic
+        # UAST nodes, so a recycled address could return the previous
+        # node's variable set and insert (or skip) eager loop-header
+        # phis depending on heap layout.  Compiling other loop-heavy
+        # modules between rebuilds primes the allocator with reusable
+        # UAST-sized blocks; before the fix the wire bytes diverged
+        # within a handful of trials.  The source is the hypothesis
+        # counterexample pinned in test_properties, kept byte-exact:
+        # reformatting changes the allocation pattern enough to mask
+        # the recycling.
+        import gc
+        import random
+
+        source = 'class Shape {\n    int tag;\n    int weigh(int x) { return ((tag <= tag) ? x : x); }\n}\nclass Ring extends Shape {\n    int weigh(int x) { return (tag % (x | 1)); }\n}\nclass Main {\n    static int h(int x) {\n        int a = x; int b = x - 1; int c = 7;\n        return ((-20 - a) | a);\n    }\n    static void main() {\n        int a = -96;\n        int b = 82;\n        int c = 78;\n        int[] arr = new int[8];\n        for (int f0 = 0; f0 < 8; f0++) {\n            arr[f0] = f0 * 5 + 3;\n        }\n        Shape s = new Shape();\n        s.tag = -12;\n        switch (a & 3) { case 0: a = 1; case 1: a = 2; break; case 2: arr[(1 & 7)] = -57; break; default: a = 15; }\n        { int d1 = 2; do { d1 = d1 - 1; for (int lo2 = 0; lo2 < 4; lo2++) { for (int ln3 = 0; ln3 < arr.length; ln3++) { c = c + arr[lo2 & 7]; } arr[lo2 & 7] = c; } } while (d1 > 0); }\n        c = (-83 % ((a * ((c > 0) ? b : a)) | 1));\n        for (int lo4 = 0; lo4 < 3; lo4++) { for (int ln5 = 0; ln5 < arr.length; ln5++) { b = b + arr[lo4 & 7]; } arr[lo4 & 7] = b; }\n        int sum = 0;\n        for (int f1 = 0; f1 < 8; f1++) { sum += arr[f1]; }\n        System.out.println(a + " " + b + " " + c + " " + sum\n                           + " " + s.weigh(a) + " " + s.tag);\n    }\n}\n'
+
+        def build(jobs=None):
+            session = CompilationSession(optimize=True, cache=False,
+                                         jobs=jobs)
+            module = session.build_module(source)
+            session.optimize(module)
+            return session.encode(module)
+
+        churn = ["class A%d { static int f(int x) { int y = x; "
+                 "do { y = y - 1; } while (y > 0); return y; } }" % i
+                 for i in range(6)]
+        reference = build()
+        rng = random.Random(3)
+        junk = []
+        for trial in range(40):
+            filler = CompilationSession(optimize=(trial % 3 == 0),
+                                        cache=False)
+            filler.compile(churn[trial % len(churn)])
+            junk.append(bytearray(rng.randrange(64, 4096)))
+            if trial % 5 == 4:
+                junk.clear()
+                gc.collect()
+            assert build(jobs=2 if trial % 2 else None) == reference, \
+                f"rebuild diverged at trial {trial}"
+
 
 class TestLegacyWrappers:
     def test_optimize_function_flat_stats_shape(self):

@@ -185,6 +185,7 @@ class TestMutation:
         assert trailing.kind == "rejected"
         assert trailing.code == "DEC-TRAILING"
 
+    @pytest.mark.slow
     def test_stream_smoke_campaign_holds_invariant(self):
         result = run_campaign(seed=11, budget=300, mode="streams",
                               minimize=False)
@@ -197,6 +198,7 @@ class TestMutation:
                                     "bounded", "stackoverflow"))
                    for code in result.taxonomy)
 
+    @pytest.mark.slow
     def test_campaigns_are_deterministic(self):
         first = run_campaign(seed=5, budget=250, mode="streams",
                              minimize=False)

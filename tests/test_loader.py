@@ -182,6 +182,7 @@ class TestAttackFixtures:
 # differential gate: seeded stream-mutation campaign
 
 
+@pytest.mark.slow
 class TestMutationCampaign:
     CAMPAIGN_SEED = 20010620  # PLDI 2001
     BUDGET = 1200
@@ -491,7 +492,8 @@ class TestParallelDecode:
 
 
 SRC_ROOT = Path(__file__).parent.parent / "src" / "repro"
-_CODE_LITERAL = re.compile(r'"((?:DEC|STSA)-[A-Z]+(?:-[A-Z0-9]+)*)"')
+_CODE_LITERAL = re.compile(
+    r'"((?:DEC|STSA|SERVE)-[A-Z]+(?:-[A-Z0-9]+)*)"')
 
 
 class TestCodeRegistry:
@@ -512,14 +514,18 @@ class TestCodeRegistry:
         from repro.analysis.diagnostics import (
             DIAGNOSTIC_CODES,
             LAYER_DECODER,
+            LAYER_SERVE,
             layer_of,
         )
         for code in STABLE_CODES:
             if code.startswith("DEC-"):
                 assert layer_of(code) == LAYER_DECODER
                 assert code not in DIAGNOSTIC_CODES
+            elif code.startswith("SERVE-"):
+                assert layer_of(code) == LAYER_SERVE
+                assert code not in DIAGNOSTIC_CODES
             else:
-                assert layer_of(code) != LAYER_DECODER
+                assert layer_of(code) not in (LAYER_DECODER, LAYER_SERVE)
                 assert code in DIAGNOSTIC_CODES
 
     def test_alias_classes(self):

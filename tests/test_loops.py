@@ -4,6 +4,8 @@ Every transform test also checks *behavior*: the optimised module must
 verify and print exactly what the unoptimised one printed.
 """
 
+import pytest
+
 from repro.analysis.loops import (
     ensure_preheader,
     existing_preheader,
@@ -528,6 +530,7 @@ class TestPipelineIntegration:
         assert out == baseline
         assert sum(checks.values()) < sum(base_checks.values())
 
+    @pytest.mark.slow
     def test_loop_pipeline_round_trips_on_corpus(self):
         from repro.bench.corpus import corpus_source
         source = corpus_source("BitSieve")

@@ -5,7 +5,9 @@ pipeline (construct, optimise, encode, decode, execute) agrees with the
 independent bytecode pipeline, and every artifact verifies.
 """
 
-from hypothesis import given, settings, strategies as st
+import pytest
+
+from hypothesis import example, given, settings, strategies as st
 
 from repro import jmath
 from repro.encode.bitio import BitReader, BitWriter
@@ -95,12 +97,18 @@ def test_shifts_match_mask_semantics(a, s):
 # here -- so shrinking still works); the agreement matrix lives in
 # repro.fuzz.oracle.  These tests drive both through hypothesis.
 
-from repro.fuzz.gen import program_strategy
+from repro.fuzz.gen import GeneratedProgram, program_strategy
 from repro.fuzz.oracle import check_program
 
 
+@pytest.mark.slow
 @given(program_strategy())
 @settings(max_examples=40, deadline=None)
+@example(
+    generated=GeneratedProgram(source='class Shape {\n    int tag;\n    int weigh(int x) { return ((tag <= tag) ? x : x); }\n}\nclass Ring extends Shape {\n    int weigh(int x) { return (tag % (x | 1)); }\n}\nclass Main {\n    static int h(int x) {\n        int a = x; int b = x - 1; int c = 7;\n        return ((-20 - a) | a);\n    }\n    static void main() {\n        int a = -96;\n        int b = 82;\n        int c = 78;\n        int[] arr = new int[8];\n        for (int f0 = 0; f0 < 8; f0++) {\n            arr[f0] = f0 * 5 + 3;\n        }\n        Shape s = new Shape();\n        s.tag = -12;\n        switch (a & 3) { case 0: a = 1; case 1: a = 2; break; case 2: arr[(1 & 7)] = -57; break; default: a = 15; }\n        { int d1 = 2; do { d1 = d1 - 1; for (int lo2 = 0; lo2 < 4; lo2++) { for (int ln3 = 0; ln3 < arr.length; ln3++) { c = c + arr[lo2 & 7]; } arr[lo2 & 7] = c; } } while (d1 > 0); }\n        c = (-83 % ((a * ((c > 0) ? b : a)) | 1));\n        for (int lo4 = 0; lo4 < 3; lo4++) { for (int ln5 = 0; ln5 < arr.length; ln5++) { b = b + arr[lo4 & 7]; } arr[lo4 & 7] = b; }\n        int sum = 0;\n        for (int f1 = 0; f1 < 8; f1++) { sum += arr[f1]; }\n        System.out.println(a + " " + b + " " + c + " " + sum\n                           + " " + s.weigh(a) + " " + s.tag);\n    }\n}\n',
+     main_class='Main',
+     seed=None),
+).via('discovered failure')
 def test_generated_programs_agree_across_pipelines(generated):
     result = check_program(generated.source, generated.main_class)
     assert not result.invalid, "generator produced an uncompilable program"

@@ -441,6 +441,7 @@ class TestCacheKeys:
 # the seeded v2 mutation campaign gate
 
 
+@pytest.mark.slow
 class TestV2MutationCampaign:
     def test_reject_or_equivalent_holds(self):
         result = run_campaign(seed=20010620, budget=300,
