@@ -7,7 +7,8 @@ export PYTHONPATH := src:$(PYTHONPATH)
 
 .PHONY: test test-unit test-campaign bench bench-smoke bench-analysis \
 	bench-pipeline bench-load bench-loops bench-wire bench-serve \
-	fuzz-smoke serve-smoke lint-corpus tables examples all clean
+	bench-trace fuzz-smoke serve-smoke lint-corpus tables examples \
+	all clean
 
 test:
 	$(PYTHON) -m pytest tests/ -q
@@ -64,6 +65,14 @@ bench-wire:
 # in-flight compiles or coalesced bytes diverge.
 bench-serve:
 	$(PYTHON) -m repro.bench.runner serve --smoke
+
+# Trace-tier benchmark: speculative trace execution vs the untraced
+# interpreter on the loop-heavy corpus (warm trace cache), plus the
+# guard-abort/blacklist path and the dispatch micro-opt baseline;
+# writes BENCH_trace.json and fails if traced execution stops beating
+# untraced (geomean) or abort overhead escapes the blacklist bound.
+bench-trace:
+	$(PYTHON) -m repro.bench.runner trace --smoke
 
 # Deterministic fuzzing smoke: differential oracle over generated
 # programs + wire-stream mutation under a fixed seed (~30 s); writes

@@ -16,6 +16,7 @@ Usage::
     python -m repro.bench.runner loops [--smoke] [--output PATH]
     python -m repro.bench.runner wire [--smoke] [--output PATH]
     python -m repro.bench.runner serve [--smoke] [--output PATH]
+    python -m repro.bench.runner trace [--smoke] [--output PATH]
     python -m repro.bench.runner all
 
 ``codec`` times the wire codec and the compilation cache and writes the
@@ -43,8 +44,14 @@ through a live ``repro.serve`` server, measures sustained req/s and
 p50/p99 latency under a many-client mixed fetch/verify/audit workload,
 checks that N barrier-released identical compiles coalesce into ~one
 performed compilation with bit-identical digests, and writes
-``BENCH_serve.json``; ``--smoke`` runs a reduced configuration (the CI
-setting).
+``BENCH_serve.json``; ``trace`` (E14) times the speculative trace tier
+against the untraced interpreter on the loop-heavy corpus with a warm
+trace cache, measures the guard-abort/blacklist path on an adversarial
+program and the block-plan dispatch micro-opt against the legacy
+``getattr`` loop, writes ``BENCH_trace.json``, and exits nonzero if
+the geomean speedup drops below the floor (1.25x full, 1.0x smoke) or
+the abort path stops being contained; ``--smoke`` runs a reduced
+configuration (the CI setting).
 
 Timed sections run best-of-N with a warmup pass (``REPRO_BENCH_REPEATS``
 overrides N, default 3): the minimum over repeats is the standard
@@ -503,6 +510,46 @@ def run_wire(argv=()) -> str:
     return text
 
 
+def run_trace(argv=()) -> str:
+    from repro.bench.trace import trace_report, trace_table
+    smoke = "--smoke" in argv
+    output = "BENCH_trace.json"
+    argv = [arg for arg in argv if arg != "--smoke"]
+    if "--output" in argv:
+        output = argv[argv.index("--output") + 1]
+    # smoke drops Linpack and trims repetitions; the acceptance-bar
+    # geomean (>= 1.25x) is asserted only on the full corpus
+    programs = ("BitSieve", "MiniVM") if smoke else None
+    reps = {"BitSieve": 1, "MiniVM": 8} if smoke else None
+    report = trace_report(programs, reps=reps,
+                          dispatch_reps=4 if smoke else 10,
+                          abort_reps=1 if smoke else 3)
+    with open(output, "w") as handle:
+        json.dump(report, handle, indent=2)
+        handle.write("\n")
+    header = (f"trace benchmark ({'smoke, ' if smoke else ''}"
+              f"{len(report['programs'])} programs) -> {output}")
+    text = header + "\n\nE14: speculative trace tier vs untraced " \
+        "interpreter (warm trace cache)\n\n" + trace_table(report)
+    guard = report["guard"]
+    floor = 1.0 if smoke else 1.25
+    if guard["geomean_speedup"] <= floor:
+        raise SystemExit(
+            text + f"\nPERF GUARD: traced geomean speedup "
+            f"{guard['geomean_speedup']}x is not above the "
+            f"{floor}x floor")
+    if guard["abort_overhead"] > 1.5:
+        raise SystemExit(
+            text + f"\nPERF GUARD: abort-path overhead "
+            f"{guard['abort_overhead']}x exceeds 1.5x -- blacklisting "
+            "is not containing guard-failure costs")
+    if not guard["abort_blacklisted"] or not guard["abort_entries"]:
+        raise SystemExit(
+            text + "\nPERF GUARD: the abort program did not exercise "
+            "the guard-failure/blacklist path")
+    return text
+
+
 def run_serve(argv=()) -> str:
     from repro.bench.serve import serve_report, serve_table
     smoke = "--smoke" in argv
@@ -555,7 +602,8 @@ def main(argv=None) -> int:
                                                     "analysis",
                                                     "pipeline", "fuzz",
                                                     "load", "loops",
-                                                    "wire", "serve"]:
+                                                    "wire", "serve",
+                                                    "trace"]:
         print(__doc__)
         return 2
     if argv[0] == "codec":
@@ -574,6 +622,8 @@ def main(argv=None) -> int:
         print(run_wire(argv[1:]))
     elif argv[0] == "serve":
         print(run_serve(argv[1:]))
+    elif argv[0] == "trace":
+        print(run_trace(argv[1:]))
     elif argv[0] == "all":
         for name, command in COMMANDS.items():
             print(command())
@@ -591,6 +641,8 @@ def main(argv=None) -> int:
         print(run_wire(argv[1:]))
         print()
         print(run_serve(argv[1:]))
+        print()
+        print(run_trace(argv[1:]))
     else:
         print(COMMANDS[argv[0]]())
     return 0

@@ -7,8 +7,11 @@ clients issuing a fetch-heavy mixed workload -- the access pattern of
 a mobile-code install base: many consumers pulling and re-verifying
 artifacts, few producers publishing.  Reports sustained requests per
 second and the p50/p99 request latency, measured end to end through
-the HTTP stack (connection setup included: each client request is one
-connection, the worst case for the server).
+the HTTP stack.  The workload runs twice: once with one connection
+per request (the pre-pool client, kept as the A/B baseline) and once
+with the keep-alive connection pool that is now the client default;
+the headline numbers are the pooled run and the ``keep_alive``
+section records the req/s delta between the two.
 
 The **coalescing guard** is the correctness half: N clients released
 by a barrier all request the *same fresh compile*; the service must
@@ -58,57 +61,73 @@ def serve_report(programs=None, *, clients: int = 8,
 def _measure(service: ServeService, server: ServeServer,
              programs: list, clients: int, requests_per_client: int,
              coalesce_clients: int) -> dict:
-    publisher = ServeClient("127.0.0.1", server.port, tenant="bench")
-
     # -- publish the corpus: plain artifacts as v1 singles, optimised
     # artifacts as one v2 batch sharing a dictionary
     start = time.perf_counter()
     digests = []
-    for name in programs:
-        entry = publisher.publish(name, source=corpus_source(name))
-        digests.append(entry["digest"])
-    batch = publisher.publish_batch(
-        [{"name": f"{name}.opt", "source": corpus_source(name),
-          "optimize": True} for name in programs], wire_v2=True)
-    digests.extend(entry["digest"] for entry in batch["published"])
+    with ServeClient("127.0.0.1", server.port,
+                     tenant="bench") as publisher:
+        for name in programs:
+            entry = publisher.publish(name,
+                                      source=corpus_source(name))
+            digests.append(entry["digest"])
+        batch = publisher.publish_batch(
+            [{"name": f"{name}.opt", "source": corpus_source(name),
+              "optimize": True} for name in programs], wire_v2=True)
+        digests.extend(entry["digest"]
+                       for entry in batch["published"])
     publish_s = time.perf_counter() - start
 
-    # -- the mixed serving workload, one thread per client.  The mix is
-    # deterministic per request index: mostly fetches (the install
-    # path), some verifies (the paranoid consumer), some log reads
-    # (the auditor's incremental pull).
-    errors = []
-    latencies_by_client: list[list] = [[] for _ in range(clients)]
+    # -- the mixed serving workload, one thread per client, run twice:
+    # once with the keep-alive connection pool (the client default) and
+    # once with one connection per request (the pre-pool behaviour,
+    # kept as the A/B baseline).  The mix is deterministic per request
+    # index: mostly fetches (the install path), some verifies (the
+    # paranoid consumer), some log reads (the auditor's incremental
+    # pull).
+    def run_workload(keep_alive: bool):
+        errors: list = []
+        latencies_by_client: list[list] = [[] for _ in range(clients)]
 
-    def client_worker(client_index: int) -> None:
-        client = ServeClient("127.0.0.1", server.port,
-                             tenant=f"bench-{client_index}")
-        latencies = latencies_by_client[client_index]
-        for request_index in range(requests_per_client):
-            digest = digests[(client_index + 3 * request_index)
-                             % len(digests)]
-            kind = request_index % 10
-            begin = time.perf_counter()
+        def client_worker(client_index: int) -> None:
+            client = ServeClient("127.0.0.1", server.port,
+                                 tenant=f"bench-{client_index}",
+                                 keep_alive=keep_alive)
+            latencies = latencies_by_client[client_index]
             try:
-                if kind < 6:
-                    client.fetch(digest)
-                elif kind < 9:
-                    client.verify(digest=digest)
-                else:
-                    client.log_entries()
-            except Exception as error:  # any failure fails the guard
-                errors.append(f"client {client_index} "
-                              f"request {request_index}: {error}")
-                return
-            latencies.append(time.perf_counter() - begin)
+                for request_index in range(requests_per_client):
+                    digest = digests[(client_index + 3 * request_index)
+                                     % len(digests)]
+                    kind = request_index % 10
+                    begin = time.perf_counter()
+                    try:
+                        if kind < 6:
+                            client.fetch(digest)
+                        elif kind < 9:
+                            client.verify(digest=digest)
+                        else:
+                            client.log_entries()
+                    except Exception as error:  # any failure -> guard
+                        errors.append(f"client {client_index} "
+                                      f"request {request_index}: "
+                                      f"{error}")
+                        return
+                    latencies.append(time.perf_counter() - begin)
+            finally:
+                client.close()
 
-    start = time.perf_counter()
-    with ThreadPoolExecutor(max_workers=clients) as pool:
-        for _ in pool.map(client_worker, range(clients)):
-            pass
-    serving_s = time.perf_counter() - start
-    latencies = sorted(lat for per_client in latencies_by_client
-                       for lat in per_client)
+        start = time.perf_counter()
+        with ThreadPoolExecutor(max_workers=clients) as pool:
+            for _ in pool.map(client_worker, range(clients)):
+                pass
+        seconds = time.perf_counter() - start
+        flat = sorted(lat for per_client in latencies_by_client
+                      for lat in per_client)
+        return seconds, flat, errors
+
+    close_s, close_latencies, close_errors = run_workload(False)
+    serving_s, latencies, errors = run_workload(True)
+    errors = errors + close_errors
 
     # -- coalescing guard: one fresh source, N simultaneous compiles
     marker = f"{len(digests)}{serving_s:.0f}".replace(".", "")
@@ -121,11 +140,11 @@ def _measure(service: ServeService, server: ServeServer,
     coalesce_digests: list = [None] * coalesce_clients
 
     def coalesce_worker(index: int) -> None:
-        client = ServeClient("127.0.0.1", server.port,
-                             tenant="coalesce")
-        barrier.wait()
-        result = client.compile(fresh_source, optimize=True)
-        coalesce_digests[index] = result["digest"]
+        with ServeClient("127.0.0.1", server.port,
+                         tenant="coalesce") as client:
+            barrier.wait()
+            result = client.compile(fresh_source, optimize=True)
+            coalesce_digests[index] = result["digest"]
 
     with ThreadPoolExecutor(max_workers=coalesce_clients) as pool:
         for _ in pool.map(coalesce_worker, range(coalesce_clients)):
@@ -135,7 +154,7 @@ def _measure(service: ServeService, server: ServeServer,
     identical = len(set(coalesce_digests)) == 1 \
         and coalesce_digests[0] is not None
 
-    total_requests = sum(len(per) for per in latencies_by_client)
+    total_requests = len(latencies)
     stats = service.counters
     return {
         "programs": programs,
@@ -155,6 +174,17 @@ def _measure(service: ServeService, server: ServeServer,
             "p50_ms": round(_percentile(latencies, 0.50) * 1000, 3),
             "p99_ms": round(_percentile(latencies, 0.99) * 1000, 3),
             "errors": errors,
+        },
+        "keep_alive": {
+            "pooled_req_per_s": round(total_requests / serving_s, 1)
+            if serving_s else None,
+            "per_request_close_req_per_s":
+            round(len(close_latencies) / close_s, 1)
+            if close_s else None,
+            "per_request_close_p50_ms":
+            round(_percentile(close_latencies, 0.50) * 1000, 3),
+            "speedup": round(close_s / serving_s, 2)
+            if serving_s else None,
         },
         "coalescing": {
             "concurrent_clients": coalesce_clients,
@@ -183,8 +213,13 @@ def serve_table(report: dict) -> str:
         f"{report['publish']['seconds']:>7.2f}s",
         f"{'concurrent clients':34} {serving['clients']:>8}",
         f"{'requests served':34} {serving['requests']:>8}",
-        f"{'sustained throughput':34} "
+        f"{'sustained throughput (keep-alive)':34} "
         f"{serving['req_per_s']:>6.1f}/s",
+        f"{'throughput, conn-per-request':34} "
+        f"{report['keep_alive']['per_request_close_req_per_s']:>6.1f}"
+        f"/s",
+        f"{'keep-alive speedup':34} "
+        f"{report['keep_alive']['speedup']:>7.2f}x",
         f"{'latency p50':34} {serving['p50_ms']:>6.2f}ms",
         f"{'latency p99':34} {serving['p99_ms']:>6.2f}ms",
         f"{'coalescing: concurrent compiles':34} "

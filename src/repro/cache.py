@@ -294,6 +294,120 @@ class DictionaryStore:
                 path.unlink(missing_ok=True)
 
 
+#: Version tag for persisted trace-cache entries; bumping it makes old
+#: entries miss instead of replaying paths over a changed recorder.
+TRACE_FORMAT_VERSION = "stsa-trace1"
+
+
+class TraceCache:
+    """Remembers which hot paths a module's loops compiled to traces.
+
+    Keyed on ``(wire digest, qualified function name, header index)``
+    with the recorded path stored as *reachable-block indices* -- block
+    ids are process-local serials and do not survive a re-decode, but
+    the deterministic ``reachable_blocks()`` order does.  A warm
+    process (the serve path re-running a cached module) re-creates the
+    compiled traces straight from the cache and skips the whole
+    count/record cycle.
+
+    Entries are advisory, never load-bearing: the trace compiler
+    re-derives guards and phi moves from the decoded SSA, so a stale
+    path at worst fails to compile (cold behaviour), never produces a
+    wrong trace.
+
+    Memory-only by default; with ``cache_dir`` each digest persists as
+    a ``<digest>.trace`` file, written atomically.
+    """
+
+    def __init__(self, cache_dir: Optional[str] = None):
+        self._memory: dict[str, dict[tuple[str, int], tuple[int, ...]]] = {}
+        self._dir = Path(cache_dir) if cache_dir else None
+        self.hits = 0
+        self.misses = 0
+
+    def get(self, digest: str) -> dict[tuple[str, int], tuple[int, ...]]:
+        entries = self._memory.get(digest)
+        if entries is None and self._dir is not None:
+            path = self._dir / f"{digest}.trace"
+            if path.is_file():
+                entries = self._parse(path.read_text())
+                if entries is not None:
+                    self._memory[digest] = entries
+        if not entries:
+            self.misses += 1
+            return {}
+        self.hits += 1
+        return dict(entries)
+
+    def put(self, digest: str, name: str, header_index: int,
+            path_indices: tuple[int, ...]) -> None:
+        entries = self._memory.setdefault(digest, {})
+        key = (name, int(header_index))
+        if entries.get(key) == tuple(path_indices):
+            return
+        entries[key] = tuple(path_indices)
+        if self._dir is not None:
+            self._dir.mkdir(parents=True, exist_ok=True)
+            lines = [TRACE_FORMAT_VERSION]
+            for (entry_name, header), indices in sorted(entries.items()):
+                joined = ",".join(str(i) for i in indices)
+                lines.append(f"{entry_name}\t{header}\t{joined}")
+            fd, temp = tempfile.mkstemp(dir=self._dir, suffix=".tmp")
+            try:
+                with os.fdopen(fd, "w") as handle:
+                    handle.write("\n".join(lines) + "\n")
+                os.replace(temp, self._dir / f"{digest}.trace")
+            except BaseException:
+                try:
+                    os.unlink(temp)
+                except OSError:
+                    pass
+                raise
+
+    @staticmethod
+    def _parse(
+            text: str
+    ) -> Optional[dict[tuple[str, int], tuple[int, ...]]]:
+        lines = text.splitlines()
+        if not lines or lines[0] != TRACE_FORMAT_VERSION:
+            return None  # other format version: treat as a miss
+        try:
+            entries: dict[tuple[str, int], tuple[int, ...]] = {}
+            for line in lines[1:]:
+                name, header, joined = line.split("\t")
+                # an empty path is a persisted blacklist: "this header
+                # never traces profitably, skip the count/record cycle"
+                entries[(name, int(header))] = tuple(
+                    int(i) for i in joined.split(",")) if joined else ()
+            return entries
+        except ValueError:
+            return None  # damaged entry: miss, traces re-record
+
+    def clear(self) -> None:
+        self._memory.clear()
+        self.hits = 0
+        self.misses = 0
+        if self._dir is not None and self._dir.is_dir():
+            for path in self._dir.glob("*.trace"):
+                path.unlink(missing_ok=True)
+
+    def __len__(self) -> int:
+        return sum(len(entries) for entries in self._memory.values())
+
+    def __bool__(self) -> bool:
+        return True  # an empty cache is still an enabled cache
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def stats(self) -> dict:
+        return {"hits": self.hits, "misses": self.misses,
+                "hit_rate": round(self.hit_rate, 4),
+                "entries": len(self)}
+
+
 def default_dictionary_store() -> DictionaryStore:
     """The process-wide dictionary store.  Always present (an empty
     store deterministically rejects every digest reference), persisted
@@ -305,6 +419,12 @@ def default_module_cache() -> Optional[VerifiedModuleCache]:
     """The process-wide verified-module cache, enabled alongside the
     compilation cache by ``REPRO_CACHE_DIR`` ("" for memory-only)."""
     return _DEFAULT_MODULES
+
+
+def default_trace_cache() -> Optional[TraceCache]:
+    """The process-wide trace cache, enabled alongside the other caches
+    by ``REPRO_CACHE_DIR`` ("" for memory-only)."""
+    return _DEFAULT_TRACES
 
 
 def default_cache() -> Optional[CompilationCache]:
@@ -335,7 +455,15 @@ def _modules_from_environment() -> Optional[VerifiedModuleCache]:
     return VerifiedModuleCache(configured or None)
 
 
+def _traces_from_environment() -> Optional[TraceCache]:
+    configured = os.environ.get("REPRO_CACHE_DIR")
+    if configured is None:
+        return None
+    return TraceCache(configured or None)
+
+
 _DEFAULT: Optional[CompilationCache] = _from_environment()
 _DEFAULT_MODULES: Optional[VerifiedModuleCache] = _modules_from_environment()
+_DEFAULT_TRACES: Optional[TraceCache] = _traces_from_environment()
 _DEFAULT_DICTS: DictionaryStore = DictionaryStore(
     os.environ.get("REPRO_CACHE_DIR") or None)

@@ -5,7 +5,7 @@ Subcommands::
     repro-cc compile FILE.java -o FILE.stsa [--optimize] [--passes SPEC]
                      [--jobs N] [--no-prune] [--report] [--wire-v2]
     repro-cc run     FILE.java|FILE.stsa|- [--class NAME] [--optimize]
-                     [--stream]
+                     [--stream] [--trace[=N]]
     repro-cc disasm  FILE.java|FILE.stsa [--optimize]
     repro-cc verify  FILE.stsa
     repro-cc lint    FILE.java|FILE.stsa [--json] [--optimize]
@@ -22,7 +22,10 @@ Subcommands::
 incremental :class:`~repro.loader.stream.StreamingLoader` -- execution
 can begin while later chunks are still arriving, and a truncated or
 tampered stream is rejected with the same stable codes as a one-shot
-load.  ``serve`` starts the :mod:`repro.serve` distribution service;
+load.  ``run --trace`` executes through the speculative trace tier
+(:mod:`repro.interp.trace`): hot loops are recorded and compiled to
+guarded straight-line fast paths, with bit-identical fallback on guard
+failure.  ``serve`` starts the :mod:`repro.serve` distribution service;
 ``publish``/``fetch`` are its producer/consumer clients (``fetch``
 re-verifies the content address of whatever the server returns).
 """
@@ -115,7 +118,15 @@ def cmd_run(args) -> int:
     else:
         module = _load_module(args.file, args.optimize, jobs=args.jobs,
                               lazy=args.lazy)
-    interp = Interpreter(module, max_steps=args.max_steps)
+    trace = getattr(args, "trace", None)
+    if trace is not None:
+        from repro.interp.trace import (TRACE_DEFAULT_THRESHOLD,
+                                        TracingInterpreter)
+        threshold = TRACE_DEFAULT_THRESHOLD if trace < 0 else trace
+        interp = TracingInterpreter(module, max_steps=args.max_steps,
+                                    threshold=threshold)
+    else:
+        interp = Interpreter(module, max_steps=args.max_steps)
     result = interp.run_main(getattr(args, "class"))
     sys.stdout.write(result.stdout)
     if result.exception is not None:
@@ -337,6 +348,11 @@ def main(argv=None) -> int:
                         "be '-')")
     p.add_argument("--chunk-size", type=int, default=4096, metavar="N",
                    help="stdin read granularity for --stream")
+    p.add_argument("--trace", nargs="?", const=-1, type=int,
+                   default=None, metavar="N",
+                   help="enable the speculative trace tier; optional N "
+                        "sets the hot-loop threshold (back-edge count "
+                        "before recording)")
     p.set_defaults(fn=cmd_run)
 
     p = sub.add_parser("disasm", help="print SafeTSA disassembly")

@@ -16,6 +16,8 @@ pipeline            what it checks
 ``jobs``            serial vs parallel per-function optimisation
                     produce bit-identical wire bytes
 ``jit``             consumer code generation on the decoded module
+``trace``           speculative trace tier vs untraced interpreter:
+                    same output, trap identity, steps, check counts
 ``bytecode``        the independent JVM-bytecode baseline
 ==================  ===================================================
 
@@ -228,6 +230,31 @@ def check_program(source: str, main_class: Optional[str] = None, *,
     # consumer code generation over the decoded module
     if not compare("jit", lambda: _observed(
             JitCompiler(holder).run_main(main_class))):
+        return result
+
+    # the speculative trace tier: traced and untraced runs of the very
+    # same decoded module must agree on stdout, trap identity, *and*
+    # the interpreter's own accounting (steps, dynamic check counts) --
+    # a trace that skips or double-counts a check diverges here even
+    # when the printed output happens to match
+    def run_trace():
+        from repro.interp.trace import TracingInterpreter
+        untraced = Interpreter(holder, max_steps=max_steps)
+        plain = _observed(untraced.run_main(main_class))
+        traced_interp = TracingInterpreter(holder, max_steps=max_steps,
+                                           threshold=4)
+        traced = _observed(traced_interp.run_main(main_class))
+        if traced != plain:
+            return traced
+        if traced_interp.steps != untraced.steps:
+            return (f"traced {traced_interp.steps} steps, untraced "
+                    f"{untraced.steps}", None)
+        if dict(traced_interp.check_counts) != dict(untraced.check_counts):
+            return (f"traced checks {dict(traced_interp.check_counts)}, "
+                    f"untraced {dict(untraced.check_counts)}", None)
+        return plain
+
+    if not compare("trace", run_trace):
         return result
 
     # the independent bytecode baseline (shares the session's parse)

@@ -76,6 +76,9 @@ class Interpreter:
         self.steps = 0
         self.check_counts = {"nullcheck": 0, "idxcheck": 0, "upcast": 0}
         self._initialized = False
+        #: block id -> _BlockPlan; per-block handler/phi/terminator
+        #: resolution done once instead of per executed instruction.
+        self._plans: dict[int, _BlockPlan] = {}
 
     # ==================================================================
     # entry points
@@ -134,69 +137,94 @@ class Interpreter:
         frame: dict[int, object] = {}
         for param in function.params:
             frame[param.id] = args[param.index]
+        plans = self._plans
+        max_steps = self.max_steps
         block = function.entry
-        came_from: Optional[tuple[Block, str]] = None
+        plan = plans.get(block.id)
+        if plan is None:
+            plan = self._plan(block)
+        came_key: Optional[tuple[int, str]] = None
+        came_block: Optional[Block] = None
         exception: Optional[ObjectRef] = None
         while True:
             self.steps += 1
-            if self.steps > self.max_steps:
+            if self.steps > max_steps:
                 raise StepLimitExceeded(
-                    f"exceeded {self.max_steps} steps in {function.name}")
-            if block.phis:
-                edge = self._edge_index(block, came_from)
-                values = [frame[phi.operands[edge].id] for phi in block.phis]
-                for phi, value in zip(block.phis, values):
-                    frame[phi.id] = value
-            trapped = False
-            for instr in block.instrs:
-                if isinstance(instr, ir.CaughtExc):
-                    frame[instr.id] = exception
+                    f"exceeded {max_steps} steps in {function.name}")
+            moves = plan.moves
+            if moves is not None:
+                move = moves.get(came_key)
+                if move is None:
+                    raise self._phi_edge_error(plan.block, came_block)
+                targets, sources = move
+                # parallel copy: read every source before the first write
+                # (a phi operand may itself be a phi of this block)
+                values = [frame[source] for source in sources]
+                for target, value in zip(targets, values):
+                    frame[target] = value
+            for handler, instr, store in plan.ops:
+                if handler is None:  # CaughtExc
+                    frame[store] = exception
                     continue
                 try:
-                    result = self._execute(instr, frame)
+                    result = handler(instr, frame)
                 except JavaError as error:
-                    target = self._exc_edge_target(block)
+                    target = plan.exc_target
                     if target is None:
                         raise
                     exception = error.value
-                    came_from = (block, "exc")
-                    block = target
-                    trapped = True
+                    came_key = (plan.block_id, "exc")
+                    came_block = plan.block
+                    plan = plans.get(target.id) or self._plan(target)
                     break
-                if instr.plane is not None:
-                    frame[instr.id] = result
-            if trapped:
-                continue
-            term = block.term
-            if term is None:
-                raise InterpreterError(f"block B{block.id} has no terminator")
-            if term.kind == "return":
-                return frame[term.value.id] if term.value is not None else None
-            if term.kind == "throw":
-                target = self._exc_edge_target(block)
-                if target is None:
-                    raise JavaError(frame[term.value.id])
-                # a throw inside a try body jumps to the dispatch block
-                exception = frame[term.value.id]
-                came_from = (block, "exc")
-                block = target
-                continue
-            if term.kind == "unreachable":
-                raise InterpreterError(
-                    f"reached unreachable terminator in {function.name}")
-            if term.kind == "branch":
-                taken = bool(frame[term.value.id])
-                normal = [s for s, kind in block.succs if kind == "norm"]
-                next_block = normal[0] if taken else normal[1]
-            else:  # fall / break / continue
-                normal = [s for s, kind in block.succs if kind == "norm"]
-                if len(normal) != 1:
+                if store is not None:
+                    frame[store] = result
+            else:
+                kind = plan.kind
+                if kind == "branch":
+                    norm = plan.norm
+                    next_block = norm[0] if frame[plan.value_id] else norm[1]
+                elif plan.succ is not None:  # fall / break / continue
+                    next_block = plan.succ
+                elif kind == "return":
+                    if plan.value_id is not None:
+                        return frame[plan.value_id]
+                    return None
+                elif kind == "throw":
+                    target = plan.exc_target
+                    if target is None:
+                        raise JavaError(frame[plan.value_id])
+                    # a throw inside a try body jumps to the dispatch block
+                    exception = frame[plan.value_id]
+                    came_key = (plan.block_id, "exc")
+                    came_block = plan.block
+                    plan = plans.get(target.id) or self._plan(target)
+                    continue
+                elif kind == "unreachable":
                     raise InterpreterError(
-                        f"B{block.id} ({term.kind}) has {len(normal)} "
+                        f"reached unreachable terminator in {function.name}")
+                elif kind is None:
+                    raise InterpreterError(
+                        f"block B{plan.block_id} has no terminator")
+                else:
+                    raise InterpreterError(
+                        f"B{plan.block_id} ({kind}) has {len(plan.norm)} "
                         "normal successors")
-                next_block = normal[0]
-            came_from = (block, "norm")
-            block = next_block
+                came_key = (plan.block_id, "norm")
+                came_block = plan.block
+                plan = plans.get(next_block.id) or self._plan(next_block)
+
+    def _plan(self, block: Block) -> "_BlockPlan":
+        plan = _BlockPlan(self, block)
+        self._plans[block.id] = plan
+        return plan
+
+    @staticmethod
+    def _phi_edge_error(block: Block, came_block) -> "InterpreterError":
+        if came_block is None:
+            return InterpreterError(f"phis in entry block B{block.id}")
+        return InterpreterError(
+            f"edge B{came_block.id}->B{block.id} not in pred list")
 
     @staticmethod
     def _edge_index(block: Block, came_from) -> int:
@@ -372,3 +400,59 @@ class Interpreter:
     def _invoke_virtual_for_runtime(self, receiver, method: MethodInfo):
         resolved = self._resolve_virtual(receiver, method)
         return self._invoke(resolved, [receiver])
+
+
+class _BlockPlan:
+    """Everything :meth:`Interpreter.call` would otherwise resolve per
+    executed instruction -- handler bound methods, phi routing per
+    incoming edge, terminator shape -- resolved once per block."""
+
+    __slots__ = ("block", "block_id", "ops", "moves", "kind", "value_id",
+                 "norm", "succ", "exc_target", "hs")
+
+    def __init__(self, interp: Interpreter, block: Block):
+        self.block = block
+        self.block_id = block.id
+        # loop-header state, set by the tracing interpreter's _plan
+        # override; the base interpreter never reads it
+        self.hs = None
+        ops = []
+        for instr in block.instrs:
+            if isinstance(instr, ir.CaughtExc):
+                ops.append((None, instr, instr.id))
+                continue
+            handler = getattr(
+                interp, "_exec_" + type(instr).__name__.lower(), None)
+            if handler is None:
+                raise InterpreterError(
+                    f"cannot execute {type(instr).__name__}")
+            store = instr.id if instr.plane is not None else None
+            ops.append((handler, instr, store))
+        self.ops = tuple(ops)
+        if block.phis:
+            phi_ids = tuple(phi.id for phi in block.phis)
+            moves: dict = {}
+            for index, (pred, kind) in enumerate(block.preds):
+                # setdefault: a duplicated edge keeps its first index,
+                # matching the old linear _edge_index scan
+                moves.setdefault(
+                    (pred.id, kind),
+                    (phi_ids,
+                     tuple(phi.operands[index].id for phi in block.phis)))
+            self.moves = moves
+        else:
+            self.moves = None
+        term = block.term
+        self.kind = term.kind if term is not None else None
+        self.value_id = None
+        if term is not None and term.value is not None:
+            self.value_id = term.value.id
+        self.norm = tuple(s for s, kind in block.succs if kind == "norm")
+        self.succ = None
+        if self.kind in ("fall", "break", "continue") and len(self.norm) == 1:
+            self.succ = self.norm[0]
+        self.exc_target = None
+        for succ, kind in block.succs:
+            if kind == "exc":
+                self.exc_target = succ
+                break

@@ -33,6 +33,7 @@ an unsound module.
 
 from __future__ import annotations
 
+import hashlib
 import os
 from concurrent.futures import ThreadPoolExecutor
 from contextlib import contextmanager
@@ -283,5 +284,9 @@ def load_module(data: bytes, *, lazy: bool = False,
     envelopes (``None`` for the environment default); v1 streams never
     touch it.
     """
-    return ModuleLoader(data, lazy=lazy, jobs=jobs, cache=cache,
-                        store=store).load()
+    module = ModuleLoader(data, lazy=lazy, jobs=jobs, cache=cache,
+                          store=store).load()
+    # the distribution unit's content address; the trace cache keys
+    # compiled hot paths on it so warm processes skip re-recording
+    module.wire_digest = hashlib.sha256(data).hexdigest()
+    return module

@@ -17,9 +17,14 @@ re-raised as :class:`~repro.serve.errors.ServeError`, so client code
 handles local and remote failures through one exception type with one
 code taxonomy.
 
-Transport is deliberately boring: one stdlib ``http.client``
-connection per request (thread-safe by construction -- the conformance
-suite and the benchmark both hammer one server from many threads).
+Transport is a small keep-alive connection pool over stdlib
+``http.client``: idle connections are reused across requests (HTTP/1.1
+persistent connections), checked out under a lock so the client stays
+thread-safe -- the conformance suite and the benchmark both hammer one
+server from many threads.  A connection that went stale while idle
+(server restarted, keep-alive timeout) is discarded and the request
+retried once on a fresh connection; ``keep_alive=False`` restores the
+old one-connection-per-request behaviour.
 """
 
 from __future__ import annotations
@@ -27,7 +32,8 @@ from __future__ import annotations
 import hashlib
 import base64
 import json
-from http.client import HTTPConnection
+import threading
+from http.client import BadStatusLine, HTTPConnection, ResponseNotReady
 from typing import Optional
 
 from repro.serve.errors import ServeError
@@ -38,12 +44,20 @@ from repro.serve.store import wire_digest
 class ServeClient:
     """A blocking JSON client for one ``repro.serve`` endpoint set."""
 
+    #: idle connections kept per client; excess connections (transient
+    #: thread bursts) are closed on release rather than pooled
+    POOL_SIZE = 8
+
     def __init__(self, host: str, port: int, *,
-                 tenant: str = "public", timeout: float = 30.0):
+                 tenant: str = "public", timeout: float = 30.0,
+                 keep_alive: bool = True):
         self.host = host
         self.port = port
         self.tenant = tenant
         self.timeout = timeout
+        self.keep_alive = keep_alive
+        self._lock = threading.Lock()
+        self._idle: list[HTTPConnection] = []
 
     @classmethod
     def for_url(cls, url: str, **kwargs) -> "ServeClient":
@@ -54,11 +68,39 @@ class ServeClient:
 
     # -- transport ------------------------------------------------------
 
+    def _checkout(self) -> tuple[HTTPConnection, bool]:
+        """An idle pooled connection (``reused=True``) or a fresh one."""
+        with self._lock:
+            if self._idle:
+                return self._idle.pop(), True
+        return HTTPConnection(self.host, self.port,
+                              timeout=self.timeout), False
+
+    def _release(self, conn: HTTPConnection) -> None:
+        with self._lock:
+            if len(self._idle) < self.POOL_SIZE:
+                self._idle.append(conn)
+                return
+        conn.close()
+
+    def close(self) -> None:
+        """Close every idle pooled connection."""
+        with self._lock:
+            idle, self._idle = self._idle, []
+        for conn in idle:
+            conn.close()
+
+    def __enter__(self) -> "ServeClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
     def request(self, method: str, path: str,
                 payload: Optional[dict] = None) -> dict:
         """One round trip; error envelopes re-raise as ServeError."""
         body = None
-        headers = {"Connection": "close"}
+        headers = {} if self.keep_alive else {"Connection": "close"}
         if payload is not None:
             payload = dict(payload)
             payload.setdefault("tenant", self.tenant)
@@ -67,18 +109,52 @@ class ServeClient:
         elif method.upper() == "GET" and "tenant=" not in path:
             sep = "&" if "?" in path else "?"
             path = f"{path}{sep}tenant={self.tenant}"
-        conn = HTTPConnection(self.host, self.port,
-                              timeout=self.timeout)
-        try:
-            conn.request(method.upper(), path, body=body,
-                         headers=headers)
-            response = conn.getresponse()
-            data = json.loads(response.read().decode("utf-8"))
-        finally:
-            conn.close()
+        if not self.keep_alive:
+            conn = HTTPConnection(self.host, self.port,
+                                  timeout=self.timeout)
+            try:
+                data = self._round_trip(conn, method, path, body,
+                                        headers)
+            finally:
+                conn.close()
+        else:
+            conn, reused = self._checkout()
+            try:
+                data = self._round_trip(conn, method, path, body,
+                                        headers)
+            except (BadStatusLine, ResponseNotReady, ConnectionError,
+                    BrokenPipeError, OSError):
+                # a pooled connection can go stale while idle; retry
+                # exactly once on a fresh connection.  A fresh
+                # connection's failure is genuine and propagates.
+                conn.close()
+                if not reused:
+                    raise
+                conn = HTTPConnection(self.host, self.port,
+                                      timeout=self.timeout)
+                try:
+                    data = self._round_trip(conn, method, path, body,
+                                            headers)
+                except BaseException:
+                    conn.close()
+                    raise
+            except BaseException:
+                conn.close()
+                raise
+            self._release(conn)
         if "error" in data:
             raise ServeError.from_payload(data)
         return data
+
+    @staticmethod
+    def _round_trip(conn: HTTPConnection, method: str, path: str,
+                    body: Optional[bytes], headers: dict) -> dict:
+        conn.request(method.upper(), path, body=body, headers=headers)
+        response = conn.getresponse()
+        payload = response.read().decode("utf-8")
+        if response.will_close:
+            conn.close()
+        return json.loads(payload)
 
     # -- endpoint wrappers ----------------------------------------------
 
@@ -151,12 +227,18 @@ class ServeClient:
     def run(self, *, digest: Optional[str] = None,
             wire: Optional[bytes] = None,
             class_name: Optional[str] = None,
-            max_steps: Optional[int] = None) -> dict:
+            max_steps: Optional[int] = None,
+            trace=None) -> dict:
+        """``trace=True`` (or an int threshold) executes through the
+        server's speculative trace tier; the response then carries the
+        run's trace statistics under ``"trace"``."""
         payload = self._unit(digest, wire)
         if class_name is not None:
             payload["class"] = class_name
         if max_steps is not None:
             payload["max_steps"] = max_steps
+        if trace is not None:
+            payload["trace"] = trace
         return self.request("POST", "/v1/run", payload)
 
     @staticmethod

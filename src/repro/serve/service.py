@@ -54,6 +54,7 @@ from urllib.parse import parse_qs, urlsplit
 from repro.cache import (
     CompilationCache,
     DictionaryStore,
+    TraceCache,
     VerifiedModuleCache,
 )
 from repro.serve.errors import ServeError
@@ -90,6 +91,10 @@ class ServeService:
             f"{store_dir}/dicts" if store_dir else None)
         self.module_cache = VerifiedModuleCache()
         self.compile_cache = CompilationCache()
+        # compiled hot-loop traces, shared across /v1/run requests:
+        # keyed on wire digest, so a warm re-run of the same unit skips
+        # the count/record cycle (see repro.interp.trace)
+        self.trace_cache = TraceCache()
         self.signing_key = signing_key
         if log_path is None and store_dir is not None:
             log_path = f"{store_dir}/publish-log.jsonl"
@@ -421,20 +426,37 @@ class ServeService:
                                         self.max_run_steps)),
                         self.max_run_steps)
         main_class = payload.get("class")
+        trace = payload.get("trace")
+        if trace is not None and not isinstance(trace, (bool, int)):
+            raise ServeError("'trace' must be a bool or an int "
+                             "threshold", "SERVE-BAD-REQUEST")
 
         def execute():
             from repro.interp.interpreter import Interpreter
+            if trace:
+                from repro.interp.trace import (TRACE_DEFAULT_THRESHOLD,
+                                                TracingInterpreter)
+                threshold = trace if isinstance(trace, int) \
+                    and not isinstance(trace, bool) \
+                    else TRACE_DEFAULT_THRESHOLD
+                interp = TracingInterpreter(
+                    module, max_steps=max_steps, threshold=threshold,
+                    trace_cache=self.trace_cache)
+                return interp.run_main(main_class), interp.trace_stats()
             interp = Interpreter(module, max_steps=max_steps)
-            return interp.run_main(main_class)
+            return interp.run_main(main_class), None
         from repro.interp.interpreter import InterpreterError
         try:
-            result = await self._offload(execute)
+            result, trace_stats = await self._offload(execute)
         except InterpreterError as error:
             raise ServeError(f"execution failed: {error}",
                              "SERVE-BAD-REQUEST") from None
-        return {"value": result.value, "stdout": result.stdout,
-                "steps": result.steps,
-                "exception": result.exception_name()}
+        response = {"value": result.value, "stdout": result.stdout,
+                    "steps": result.steps,
+                    "exception": result.exception_name()}
+        if trace_stats is not None:
+            response["trace"] = trace_stats
+        return response
 
 
 # ======================================================================
@@ -513,6 +535,12 @@ class ServeServer:
                     return
         except (asyncio.IncompleteReadError, ConnectionResetError):
             pass  # client went away mid-request
+        except asyncio.CancelledError:
+            # server shutdown with the connection parked between
+            # requests (keep-alive): finish normally -- the stdlib
+            # stream protocol's done-callback calls task.exception(),
+            # which raises on a task that ends cancelled
+            pass
         finally:
             writer.close()
             try:
@@ -580,6 +608,17 @@ class ServeServer:
                 self._failure = error
                 self._started.set()
             finally:
+                # drain per-connection handlers (keep-alive clients
+                # leave them parked on readline) before the loop dies,
+                # or close() destroys them mid-cancel
+                pending = [task for task in
+                           asyncio.all_tasks(self._loop)
+                           if not task.done()]
+                for task in pending:
+                    task.cancel()
+                if pending:
+                    self._loop.run_until_complete(asyncio.gather(
+                        *pending, return_exceptions=True))
                 self._loop.close()
         self._thread = threading.Thread(target=main, daemon=True,
                                         name="repro-serve-server")
@@ -591,8 +630,11 @@ class ServeServer:
 
     def stop(self) -> None:
         if self._loop is not None and self._loop.is_running():
-            for task in asyncio.all_tasks(self._loop):
-                self._loop.call_soon_threadsafe(task.cancel)
+            try:
+                for task in asyncio.all_tasks(self._loop):
+                    self._loop.call_soon_threadsafe(task.cancel)
+            except RuntimeError:
+                pass  # the loop closed between the check and the call
         if self._thread is not None:
             self._thread.join(timeout=10)
         self.service.close()

@@ -66,4 +66,8 @@ def serve_client(serve_stack):
     """A connected client for the shared in-process server."""
     from repro.serve import ServeClient
     _service, server, _clock = serve_stack
-    return ServeClient("127.0.0.1", server.port, tenant="test")
+    client = ServeClient("127.0.0.1", server.port, tenant="test")
+    try:
+        yield client
+    finally:
+        client.close()  # drain the keep-alive pool before server stop
